@@ -1,0 +1,27 @@
+// Command lprobe is a calibration scratch tool for the replicated
+// algorithm's cost and matrix populations; the shipped harness is
+// cmd/tables.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/kcm"
+	"repro/internal/kernels"
+	"repro/internal/rect"
+)
+
+func main() {
+	for _, name := range []string{"dalu", "des", "seq", "spla", "ex1010"} {
+		nw, _ := gen.Benchmark(name)
+		m := kcm.Build(nw, nw.NodeVars(), kernels.Options{})
+		opt := core.Options{Rect: rect.Config{MaxCols: 5, MaxVisits: 20000}, BatchK: 1}
+		t0 := time.Now()
+		r1 := core.Replicated(nw.CloneDetached(), 1, opt)
+		fmt.Printf("%-8s matrix %5d rows %6d entries | repl p=1 vtime %12d LC %6d wall %v\n",
+			name, len(m.Rows()), m.NumEntries(), r1.VirtualTime, r1.LC, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,47 @@
+// Command probe is a calibration scratch tool used while tuning the
+// synthetic benchmark generator and the cost model; the shipped
+// experiment harness is cmd/tables.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rect"
+	"repro/internal/script"
+)
+
+func main() {
+	names := os.Args[1:]
+	if len(names) == 0 {
+		names = []string{"misex3", "dalu"}
+	}
+	opt := core.Options{Rect: rect.Config{MaxCols: 5, MaxVisits: 100000}, BatchK: 16}
+	for _, name := range names {
+		nw, _ := gen.Benchmark(name)
+		seq := core.Sequential(nw, opt)
+		fmt.Printf("%-8s seq: LC %d vtime %d wall %v\n", name, seq.LC, seq.VirtualTime, seq.WallClock.Round(1e6))
+		for _, p := range []int{2, 4, 6} {
+			nw, _ := gen.Benchmark(name)
+			lr := core.LShaped(nw, p, opt)
+			nw2, _ := gen.Benchmark(name)
+			pr := core.Partitioned(nw2, p, opt)
+			fmt.Printf("  p=%d lshaped: LC %5d vt %9d S %5.2f barriers %d calls %d | part: LC %5d vt %9d S %5.2f\n",
+				p, lr.LC, lr.VirtualTime, core.Speedup(seq, lr), lr.Barriers, lr.Calls,
+				pr.LC, pr.VirtualTime, core.Speedup(seq, pr))
+		}
+		// Script phase breakdown
+		nw3, _ := gen.Benchmark(name)
+		sr := script.Run(nw3, script.Options{Rect: opt.Rect, BatchK: 16})
+		fmt.Printf("  script: fac %d/%d invocations, facWall %v totalWall %v (%.0f%%)\n",
+			sr.FacInvocations, len(sr.Phases), sr.FacWall.Round(1e6), sr.TotalWall.Round(1e6),
+			100*sr.FacWall.Seconds()/sr.TotalWall.Seconds())
+		agg := map[string]float64{}
+		for _, ph := range sr.Phases {
+			agg[ph.Name] += ph.Wall.Seconds()
+		}
+		fmt.Printf("  phase walls: %v\n", agg)
+	}
+}

@@ -1,0 +1,91 @@
+// Command sis is an interactive SIS-style shell over the synthesis
+// library: load circuits, run synthesis operations (including the
+// paper's three parallel kernel-extraction algorithms), inspect and
+// save results.
+//
+//	$ go run ./cmd/sis
+//	sis> bench dalu
+//	sis> gkx -algo lshape -p 6
+//	sis> print_factor
+//	sis> write_blif dalu_opt.blif
+//
+// It also executes scripts: `sis -f script.txt` or piped stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/shell"
+)
+
+func main() {
+	file := flag.String("f", "", "execute commands from this file instead of stdin")
+	flag.Parse()
+
+	sh := shell.New(os.Stdout)
+	var in io.Reader = os.Stdin
+	interactive := *file == "" && isTerminal()
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sis:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if !interactive {
+		if err := sh.Run(in); err != nil {
+			fmt.Fprintln(os.Stderr, "sis:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	// Interactive: prompt per line.
+	fmt.Print("sis> ")
+	buf := make([]byte, 0, 4096)
+	tmp := make([]byte, 1)
+	for {
+		n, err := os.Stdin.Read(tmp)
+		if n == 0 || err != nil {
+			fmt.Println()
+			return
+		}
+		if tmp[0] != '\n' {
+			buf = append(buf, tmp[0])
+			continue
+		}
+		line := string(buf)
+		buf = buf[:0]
+		quit, cerr := execLine(sh, line)
+		if cerr != nil {
+			fmt.Println("error:", cerr)
+		}
+		if quit {
+			return
+		}
+		fmt.Print("sis> ")
+	}
+}
+
+func execLine(sh *shell.Shell, line string) (bool, error) {
+	trimmed := line
+	for len(trimmed) > 0 && (trimmed[0] == ' ' || trimmed[0] == '\t') {
+		trimmed = trimmed[1:]
+	}
+	if trimmed == "" || trimmed[0] == '#' {
+		return false, nil
+	}
+	return sh.Exec(trimmed)
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

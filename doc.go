@@ -1,0 +1,34 @@
+// Package repro reproduces "A Comparison of Parallel Approaches for
+// Algebraic Factorization in Logic Synthesis" (Roy & Banerjee, IPPS
+// 1997) as a Go library: the SIS-style sequential kernel extraction
+// baseline and the paper's three parallel algorithms — replicated
+// circuit with divide-and-conquer rectangle search (§3), independent
+// min-cut circuit partitions (§4), and L-shaped partitioning of the
+// co-kernel cube matrix with a shared cube-state protocol (§5).
+//
+// Layout:
+//
+//	internal/sop        SOP algebra: literals, cubes, weak division
+//	internal/network    multi-level Boolean networks
+//	internal/kernels    recursive kerneling (kernels & co-kernels)
+//	internal/kcm        co-kernel cube matrix, offset labeling
+//	internal/rect       rectangle search (Figure 1 tree) and gains
+//	internal/extract    sequential greedy cover ("gkx")
+//	internal/partition  Fiduccia–Mattheyses min-cut partitioning
+//	internal/lshape     L-shaped partitioning and exchange (§5.1–5.2)
+//	internal/core       the three parallel algorithms (§3, §4, §5)
+//	internal/vtime      virtual-time multiprocessor model
+//	internal/gen        calibrated synthetic MCNC-class benchmarks
+//	internal/script     synthesis script driver (Table 1)
+//	internal/tables     experiment harness for every paper table
+//	internal/blif, eqn  circuit file formats
+//	internal/equiv      simulation equivalence checking
+//	cmd/factor          factor a circuit with any algorithm
+//	cmd/gencircuit      emit a synthetic benchmark
+//	cmd/tables          regenerate the paper's tables
+//	examples/...        runnable walkthroughs
+//
+// The benchmarks in bench_test.go regenerate each table and figure of
+// the paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-vs-paper results.
+package repro

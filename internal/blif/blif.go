@@ -1,0 +1,229 @@
+// Package blif reads and writes a combinational subset of the
+// Berkeley Logic Interchange Format — the circuit format of the SIS
+// system the paper builds on. Supported constructs: .model, .inputs,
+// .outputs, .names (with 1/0/- input plane rows and on-set output
+// cover), .end, comments (#) and line continuations (\).
+//
+// Latches and subcircuits are out of scope: the paper's algorithms
+// operate on the combinational Boolean network.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+// Read parses a BLIF model into a network.
+func Read(r io.Reader) (*network.Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var nw *network.Network
+	var pendingOutputs []string
+
+	// State for the .names block being assembled.
+	var namesArgs []string
+	var cover []sop.Cube
+	lineNo := 0
+
+	flushNames := func() error {
+		if namesArgs == nil {
+			return nil
+		}
+		out := namesArgs[len(namesArgs)-1]
+		fn := sop.NewExpr(cover...)
+		if _, err := nw.AddNode(out, fn); err != nil {
+			return err
+		}
+		namesArgs, cover = nil, nil
+		return nil
+	}
+
+	var cont strings.Builder
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		if i := strings.IndexByte(raw, '#'); i >= 0 {
+			raw = raw[:i]
+		}
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		if strings.HasSuffix(raw, "\\") {
+			cont.WriteString(strings.TrimSuffix(raw, "\\"))
+			cont.WriteByte(' ')
+			continue
+		}
+		if cont.Len() > 0 {
+			cont.WriteString(raw)
+			raw = cont.String()
+			cont.Reset()
+		}
+		fields := strings.Fields(raw)
+		switch fields[0] {
+		case ".model":
+			if nw != nil {
+				return nil, fmt.Errorf("blif:%d: multiple .model", lineNo)
+			}
+			name := "model"
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+			nw = network.New(name)
+		case ".inputs":
+			if nw == nil {
+				return nil, fmt.Errorf("blif:%d: .inputs before .model", lineNo)
+			}
+			for _, in := range fields[1:] {
+				nw.AddInput(in)
+			}
+		case ".outputs":
+			if nw == nil {
+				return nil, fmt.Errorf("blif:%d: .outputs before .model", lineNo)
+			}
+			pendingOutputs = append(pendingOutputs, fields[1:]...)
+		case ".names":
+			if nw == nil {
+				return nil, fmt.Errorf("blif:%d: .names before .model", lineNo)
+			}
+			if err := flushNames(); err != nil {
+				return nil, err
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif:%d: .names needs at least an output", lineNo)
+			}
+			namesArgs = fields[1:]
+		case ".end":
+			if err := flushNames(); err != nil {
+				return nil, err
+			}
+		case ".latch", ".subckt", ".gate":
+			return nil, fmt.Errorf("blif:%d: unsupported construct %s", lineNo, fields[0])
+		default:
+			// A cover row of the current .names block.
+			if namesArgs == nil {
+				return nil, fmt.Errorf("blif:%d: cover row outside .names", lineNo)
+			}
+			cube, err := parseRow(nw, namesArgs, fields, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if cube != nil {
+				cover = append(cover, cube)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if nw == nil {
+		return nil, fmt.Errorf("blif: no .model found")
+	}
+	if err := flushNames(); err != nil {
+		return nil, err
+	}
+	for _, o := range pendingOutputs {
+		nw.AddOutput(o)
+	}
+	if err := nw.CheckDriven(); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// parseRow turns one cover row into a cube, or nil for a row that is
+// the constant-one cover of a zero-input .names.
+func parseRow(nw *network.Network, args, fields []string, lineNo int) (sop.Cube, error) {
+	nin := len(args) - 1
+	switch {
+	case nin == 0 && len(fields) == 1:
+		if fields[0] != "1" {
+			return nil, nil // constant 0: empty cover
+		}
+		return sop.Cube{}, nil
+	case len(fields) != 2:
+		return nil, fmt.Errorf("blif:%d: cover row wants <plane> <out>", lineNo)
+	}
+	plane, out := fields[0], fields[1]
+	if out != "1" {
+		// Off-set covers would complement the function; the
+		// synthesis flow only writes on-set covers.
+		return nil, fmt.Errorf("blif:%d: only on-set covers supported (output %q)", lineNo, out)
+	}
+	if len(plane) != nin {
+		return nil, fmt.Errorf("blif:%d: plane %q has %d columns, want %d", lineNo, plane, len(plane), nin)
+	}
+	lits := make([]sop.Lit, 0, nin)
+	for i, ch := range plane {
+		v := nw.Names.Intern(args[i])
+		switch ch {
+		case '1':
+			lits = append(lits, sop.Pos(v))
+		case '0':
+			lits = append(lits, sop.Neg(v))
+		case '-':
+		default:
+			return nil, fmt.Errorf("blif:%d: bad plane char %q", lineNo, ch)
+		}
+	}
+	cube, ok := sop.NewCube(lits...)
+	if !ok {
+		return nil, fmt.Errorf("blif:%d: contradictory cube", lineNo)
+	}
+	return cube, nil
+}
+
+// Write serializes the network as BLIF. Node covers are written over
+// each node's support in a stable order.
+func Write(w io.Writer, nw *network.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", nw.Name)
+	fmt.Fprintf(bw, ".inputs")
+	for _, v := range nw.Inputs() {
+		fmt.Fprintf(bw, " %s", nw.Names.Name(v))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, ".outputs")
+	for _, v := range nw.Outputs() {
+		fmt.Fprintf(bw, " %s", nw.Names.Name(v))
+	}
+	fmt.Fprintln(bw)
+	for _, v := range nw.NodeVars() {
+		nd := nw.Node(v)
+		sup := nd.Fn.Support()
+		fmt.Fprintf(bw, ".names")
+		for _, u := range sup {
+			fmt.Fprintf(bw, " %s", nw.Names.Name(u))
+		}
+		fmt.Fprintf(bw, " %s\n", nw.Names.Name(v))
+		idx := make(map[sop.Var]int, len(sup))
+		for i, u := range sup {
+			idx[u] = i
+		}
+		for _, c := range nd.Fn.Cubes() {
+			row := make([]byte, len(sup))
+			for i := range row {
+				row[i] = '-'
+			}
+			for _, l := range c {
+				if l.IsNeg() {
+					row[idx[l.Var()]] = '0'
+				} else {
+					row[idx[l.Var()]] = '1'
+				}
+			}
+			if len(sup) == 0 {
+				fmt.Fprintln(bw, "1")
+			} else {
+				fmt.Fprintf(bw, "%s 1\n", row)
+			}
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}

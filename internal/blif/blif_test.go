@@ -1,0 +1,179 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/equiv"
+	"repro/internal/gen"
+	"repro/internal/network"
+)
+
+const sample = `
+# the paper's Eq. 1 network
+.model eq1
+.inputs a b c d e f g
+.outputs F G H
+.names a b c d e f g F
+1----1- 1
+-1---1- 1
+1-----1 1
+--1---1 1
+1--11-- 1
+-1-11-- 1
+--111-- 1
+.names a b c e f G
+1---1 1
+-1--1 1
+1-11- 1
+-111- 1
+.names a c d e H
+1-11 1
+-111 1
+.end
+`
+
+func TestReadPaperNetwork(t *testing.T) {
+	nw, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Literals() != 33 {
+		t.Fatalf("LC = %d want 33", nw.Literals())
+	}
+	ref := network.PaperExample()
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ref := network.PaperExample()
+	var buf bytes.Buffer
+	if err := Write(&buf, ref); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if back.Literals() != ref.Literals() {
+		t.Fatalf("LC %d != %d after round trip", back.Literals(), ref.Literals())
+	}
+	if err := equiv.Check(ref, back, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripNegatedLiterals(t *testing.T) {
+	src := `
+.model neg
+.inputs a b
+.outputs y
+.names a b y
+10 1
+01 1
+.end
+`
+	nw, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equiv.Check(nw, back, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if back.Literals() != 4 {
+		t.Fatalf("xor has %d literals want 4", back.Literals())
+	}
+}
+
+func TestRoundTripGeneratedCircuit(t *testing.T) {
+	ref, err := gen.Benchmark("misex3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ref); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Literals() != ref.Literals() || back.NumNodes() != ref.NumNodes() {
+		t.Fatalf("round trip changed shape: LC %d->%d nodes %d->%d",
+			ref.Literals(), back.Literals(), ref.NumNodes(), back.NumNodes())
+	}
+}
+
+func TestConstantNodes(t *testing.T) {
+	src := `
+.model consts
+.inputs a
+.outputs one zero pass
+.names one
+1
+.names zero
+.names a pass
+1 1
+.end
+`
+	nw, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _ := nw.Names.Lookup("one")
+	zero, _ := nw.Names.Lookup("zero")
+	if !nw.Node(one).Fn.IsOne() {
+		t.Fatal("constant one misparsed")
+	}
+	if !nw.Node(zero).Fn.IsZero() {
+		t.Fatal("constant zero misparsed")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err != nil {
+		t.Fatalf("round trip of constants: %v", err)
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	src := ".model c\n.inputs a b \\\n c\n.outputs y\n.names a b c y\n111 1\n.end\n"
+	nw, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Inputs()) != 3 {
+		t.Fatalf("continuation lost inputs: %d", len(nw.Inputs()))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"no model":       ".inputs a\n",
+		"double model":   ".model a\n.model b\n",
+		"latch":          ".model a\n.latch x y\n",
+		"row wo names":   ".model a\n.inputs x\n1 1\n",
+		"bad plane char": ".model a\n.inputs x\n.outputs y\n.names x y\n2 1\n.end\n",
+		"off-set cover":  ".model a\n.inputs x\n.outputs y\n.names x y\n1 0\n.end\n",
+		"short plane":    ".model a\n.inputs x z\n.outputs y\n.names x z y\n1 1\n.end\n",
+		"undriven out":   ".model a\n.inputs x\n.outputs ghost\n.end\n",
+		"dup node":       ".model a\n.inputs x\n.outputs y\n.names x y\n1 1\n.names x y\n0 1\n.end\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package blif
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/equiv"
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+// randNetwork builds a random small multi-level network with both
+// literal phases exercised.
+func randNetwork(r *rand.Rand) *network.Network {
+	nw := network.New("rand")
+	names := []string{"a", "b", "c", "d", "e"}
+	for _, in := range names {
+		nw.AddInput(in)
+	}
+	var vars []sop.Var
+	for _, in := range names {
+		v, _ := nw.Names.Lookup(in)
+		vars = append(vars, v)
+	}
+	nodes := 1 + r.Intn(4)
+	for i := 0; i < nodes; i++ {
+		nc := 1 + r.Intn(4)
+		var cubes []sop.Cube
+		for j := 0; j < nc; j++ {
+			nl := 1 + r.Intn(3)
+			var lits []sop.Lit
+			for k := 0; k < nl; k++ {
+				lits = append(lits, sop.MkLit(vars[r.Intn(len(vars))], r.Intn(2) == 0))
+			}
+			if c, ok := sop.NewCube(lits...); ok {
+				cubes = append(cubes, c)
+			}
+		}
+		fn := sop.NewExpr(cubes...)
+		if fn.IsZero() {
+			fn = sop.One()
+		}
+		name := string(rune('x' + i))
+		v := nw.MustAddNode(name, fn)
+		vars = append(vars, v)
+		nw.AddOutput(name)
+	}
+	return nw
+}
+
+// Property: BLIF round trips preserve function and literal count.
+func TestQuickBlifRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ref := randNetwork(r)
+		var buf bytes.Buffer
+		if err := Write(&buf, ref); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Literals() != ref.Literals() {
+			return false
+		}
+		return equiv.Check(ref, back, equiv.Options{}) == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/kernels"
+	"repro/internal/network"
+	"repro/internal/partition"
+	"repro/internal/rect"
+	"repro/internal/vtime"
+)
+
+// Options configures a parallel factorization run.
+type Options struct {
+	// Kernel tunes kernel generation.
+	Kernel kernels.Options
+	// Rect bounds every rectangle search.
+	Rect rect.Config
+	// Partition tunes the min-cut partitioner (Partitioned and
+	// LShaped algorithms).
+	Partition partition.Options
+	// BatchK, when > 1, harvests up to BatchK cube-disjoint
+	// rectangles per search enumeration in the sequential,
+	// partitioned and L-shaped covers (see extract.Options). The
+	// replicated algorithm always synchronizes per rectangle —
+	// that lockstep is the very property §3 measures.
+	BatchK int
+	// Model supplies the virtual-time cost constants; the zero
+	// value means vtime.DefaultModel().
+	Model vtime.Model
+	// WorkBudget, when > 0, aborts the run once the machine's
+	// virtual time exceeds it, reporting DNF — reproducing the
+	// paper's "did not terminate after 10000 seconds" entries for
+	// the replicated algorithm on spla and ex1010.
+	WorkBudget int64
+	// DisableZeroCostCheck is an ablation switch: skip the §5.3
+	// zero-kernel-cost profitability re-check and always add the
+	// covered cubes back before dividing, reproducing the literal
+	// savings collapse of Example 5.2.
+	DisableZeroCostCheck bool
+	// DisableOwnerCheck is an ablation switch: make COVERED cubes
+	// read as zero even to their owner, reintroducing the §5.3
+	// order-dependent search bias.
+	DisableOwnerCheck bool
+}
+
+func (o Options) model() vtime.Model {
+	if o.Model == (vtime.Model{}) {
+		return vtime.DefaultModel()
+	}
+	return o.Model
+}
+
+// RunResult reports one algorithm run. Speedups in the paper's tables
+// are computed as the ratio of the sequential baseline's VirtualTime
+// to the parallel run's VirtualTime on the same input.
+type RunResult struct {
+	// Algorithm names the algorithm ("sequential", "replicated",
+	// "partitioned", "lshaped").
+	Algorithm string
+	// P is the number of virtual processors.
+	P int
+	// LC is the network literal count after the run.
+	LC int
+	// Extracted counts kernels materialized as nodes.
+	Extracted int
+	// Calls counts factorization calls (matrix build + cover).
+	Calls int
+	// VirtualTime is the modeled makespan (max worker clock).
+	VirtualTime int64
+	// TotalWork is the summed worker clocks — grows with
+	// redundancy even when VirtualTime shrinks.
+	TotalWork int64
+	// Barriers counts completed barrier synchronizations.
+	Barriers int64
+	// WallClock is the real elapsed time (informational only on a
+	// single-core host; see DESIGN.md).
+	WallClock time.Duration
+	// DNF reports that the run exceeded its work budget and was
+	// aborted, like the paper's '-' entries in Table 2.
+	DNF bool
+}
+
+// chargeWork converts an extract.Work bundle into virtual time on
+// worker w's clock.
+func chargeWork(mc *vtime.Machine, w int, work extract.Work) {
+	mc.ChargeKernelPairs(w, work.KernelPairs)
+	mc.ChargeMatrixEntries(w, work.MatrixEntries)
+	mc.ChargeSearchVisits(w, work.SearchVisits)
+	mc.ChargeDivisionCubes(w, work.DivisionCubes)
+}
+
+// Sequential runs the baseline SIS-style factorization to fixpoint on
+// a single virtual processor and reports its virtual time — the
+// numerator of every speedup in Tables 2, 3 and 6.
+func Sequential(nw *network.Network, opt Options) RunResult {
+	mc := vtime.NewMachine(1, opt.model())
+	start := time.Now()
+	res, calls := extract.Repeat(nw, nil, extract.Options{Kernel: opt.Kernel, Rect: opt.Rect, BatchK: opt.BatchK})
+	chargeWork(mc, 0, res.Work)
+	return RunResult{
+		Algorithm:   "sequential",
+		P:           1,
+		LC:          nw.Literals(),
+		Extracted:   res.Extracted,
+		Calls:       calls,
+		VirtualTime: mc.Elapsed(),
+		TotalWork:   mc.TotalWork(),
+		WallClock:   time.Since(start),
+	}
+}
+
+// Speedup returns base.VirtualTime / run.VirtualTime, the S columns
+// of the paper's tables.
+func Speedup(base, run RunResult) float64 {
+	if run.VirtualTime == 0 || run.DNF {
+		return 0
+	}
+	return float64(base.VirtualTime) / float64(run.VirtualTime)
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/equiv"
+	"repro/internal/network"
+)
+
+func TestSequentialBaseline(t *testing.T) {
+	nw := network.PaperExample()
+	res := Sequential(nw, Options{})
+	if res.LC != 22 {
+		t.Fatalf("sequential LC = %d want 22", res.LC)
+	}
+	if res.VirtualTime <= 0 {
+		t.Fatal("no virtual time recorded")
+	}
+	if res.P != 1 || res.Algorithm != "sequential" {
+		t.Fatalf("bad metadata %+v", res)
+	}
+}
+
+func TestReplicatedMatchesSequentialQuality(t *testing.T) {
+	// §3: the replicated algorithm follows the same search path as
+	// the sequential one, so the result must be identical.
+	for _, p := range []int{1, 2, 3, 4} {
+		nw := network.PaperExample()
+		ref := nw.Clone()
+		res := Replicated(nw, p, Options{})
+		if res.LC != 22 {
+			t.Fatalf("p=%d: LC = %d want 22", p, res.LC)
+		}
+		if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if res.DNF {
+			t.Fatalf("p=%d: unexpected DNF", p)
+		}
+	}
+}
+
+func TestReplicatedDeterministicAcrossP(t *testing.T) {
+	// Same final network function and LC for every processor count.
+	var lcs []int
+	for _, p := range []int{1, 2, 4, 6} {
+		nw := network.PaperExample()
+		Replicated(nw, p, Options{})
+		lcs = append(lcs, nw.Literals())
+	}
+	for _, lc := range lcs[1:] {
+		if lc != lcs[0] {
+			t.Fatalf("LC differs across p: %v", lcs)
+		}
+	}
+}
+
+func TestReplicatedBarriersAndRedundantWork(t *testing.T) {
+	nw1 := network.PaperExample()
+	r1 := Replicated(nw1, 1, Options{})
+	nw4 := network.PaperExample()
+	r4 := Replicated(nw4, 4, Options{})
+	if r4.Barriers == 0 {
+		t.Fatal("no barriers recorded at p=4")
+	}
+	// Redundant work: total work grows with p (replicated merges
+	// and divisions), even though elapsed may shrink.
+	if r4.TotalWork <= r1.TotalWork {
+		t.Fatalf("total work %d at p=4 not above %d at p=1",
+			r4.TotalWork, r1.TotalWork)
+	}
+}
+
+func TestReplicatedDNFOnBudget(t *testing.T) {
+	nw := network.PaperExample()
+	res := Replicated(nw, 2, Options{WorkBudget: 1})
+	if !res.DNF {
+		t.Fatal("expected DNF with a tiny budget")
+	}
+}
+
+func TestPartitionedQualityAndIndependence(t *testing.T) {
+	// §4 on the paper network with the {F} | {G,H} style split:
+	// independent extraction duplicates a+b (Example 4.1) giving a
+	// worse LC than sequential, but stays functionally equivalent.
+	nw := network.PaperExample()
+	ref := nw.Clone()
+	res := Partitioned(nw, 2, Options{})
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if res.LC < 22 {
+		t.Fatalf("partitioned LC %d beat sequential 22 — impossible", res.LC)
+	}
+	// Example 4.1 predicts 26 literals for the natural partition;
+	// allow the partitioner some freedom but demand a gain vs 33.
+	if res.LC > 30 {
+		t.Fatalf("partitioned LC %d barely gained from 33", res.LC)
+	}
+}
+
+func TestPartitionedP1EqualsSequential(t *testing.T) {
+	a := network.PaperExample()
+	ra := Partitioned(a, 1, Options{})
+	b := network.PaperExample()
+	rb := Sequential(b, Options{})
+	if ra.LC != rb.LC {
+		t.Fatalf("p=1 partitioned LC %d != sequential %d", ra.LC, rb.LC)
+	}
+}
+
+func TestPartitionedMergeBackIntegrity(t *testing.T) {
+	nw := network.PaperExample()
+	Partitioned(nw, 3, Options{})
+	if err := nw.CheckDriven(); err != nil {
+		t.Fatalf("merged network broken: %v", err)
+	}
+	if _, err := nw.TopoSort(); err != nil {
+		t.Fatalf("merged network cyclic: %v", err)
+	}
+}
+
+func TestLShapedQualityBeatsPartitioned(t *testing.T) {
+	// §5: the L-shape finds the partition-spanning a+b rectangle
+	// that the independent partitions duplicate.
+	nw := network.PaperExample()
+	ref := nw.Clone()
+	res := LShaped(nw, 2, Options{})
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if res.LC > 24 {
+		t.Fatalf("lshaped LC = %d want <= 24 (sequential is 22)", res.LC)
+	}
+	if err := nw.CheckDriven(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.TopoSort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLShapedManyP(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6} {
+		nw := network.PaperExample()
+		ref := nw.Clone()
+		res := LShaped(nw, p, Options{})
+		if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if res.LC > 26 || res.LC < 22 {
+			t.Fatalf("p=%d: LC = %d outside [22,26]", p, res.LC)
+		}
+	}
+}
+
+func TestLShapedDNFOnBudget(t *testing.T) {
+	nw := network.PaperExample()
+	res := LShaped(nw, 2, Options{WorkBudget: 1})
+	if !res.DNF {
+		t.Fatal("expected DNF with tiny budget")
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	base := RunResult{VirtualTime: 100}
+	run := RunResult{VirtualTime: 25}
+	if s := Speedup(base, run); s != 4 {
+		t.Fatalf("speedup = %f want 4", s)
+	}
+	if Speedup(base, RunResult{VirtualTime: 25, DNF: true}) != 0 {
+		t.Fatal("DNF must yield zero speedup")
+	}
+	if Speedup(base, RunResult{}) != 0 {
+		t.Fatal("zero time must yield zero speedup")
+	}
+}

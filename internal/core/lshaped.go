@@ -1,0 +1,371 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/kcm"
+	"repro/internal/lshape"
+	"repro/internal/network"
+	"repro/internal/partition"
+	"repro/internal/rect"
+	"repro/internal/sop"
+	"repro/internal/vtime"
+)
+
+// LShaped runs the §5 parallel algorithm on p virtual processors:
+// min-cut partitioning, per-partition KC matrices with offset labels,
+// a master pass distributing disjoint kernel-cube ownership, exchange
+// of the overlapping B_ij blocks to form L-shaped matrices, and a
+// concurrent greedy cover in which workers speculatively cover cubes
+// in a shared state table (value/trueval/owner, Table 5), forward
+// partial rectangles that touch foreign nodes to those nodes' owners,
+// and re-check profitability at zero kernel cost before re-expanding
+// covered cubes (§5.3). No per-step synchronization is needed, yet
+// the overlap lets partition-spanning rectangles be found — the
+// paper's compromise between the replicated and independent designs.
+func LShaped(nw *network.Network, p int, opt Options) RunResult {
+	mc := vtime.NewMachine(p, opt.model())
+	start := time.Now()
+	res := RunResult{Algorithm: "lshaped", P: p}
+
+	parts := partition.KWay(nw, nil, p, opt.Partition)
+	for {
+		res.Calls++
+		extracted, dnf := lshapedCall(nw, parts, opt, mc)
+		res.Extracted += extracted
+		if dnf {
+			res.DNF = true
+			break
+		}
+		if extracted == 0 {
+			break
+		}
+	}
+
+	res.LC = nw.Literals()
+	res.VirtualTime = mc.Elapsed()
+	res.TotalWork = mc.TotalWork()
+	res.Barriers = mc.Barriers()
+	res.WallClock = time.Since(start)
+	return res
+}
+
+// fwdMsg asks a node's owning worker to divide it by an extracted
+// kernel — the partial rectangles of §5.3.
+type fwdMsg struct {
+	node    sop.Var
+	kernel  sop.Expr
+	kvar    sop.Var
+	addBack []sop.Cube
+	zcGain  int
+}
+
+// fwdQueue is one worker's incoming division queue.
+type fwdQueue struct {
+	mu   sync.Mutex
+	msgs []fwdMsg
+}
+
+func (q *fwdQueue) push(m fwdMsg) {
+	q.mu.Lock()
+	q.msgs = append(q.msgs, m)
+	q.mu.Unlock()
+}
+
+func (q *fwdQueue) drain() []fwdMsg {
+	q.mu.Lock()
+	out := q.msgs
+	q.msgs = nil
+	q.mu.Unlock()
+	return out
+}
+
+// lshapedCall performs one parallel L-shaped factorization call and
+// returns the number of kernels extracted (and kept).
+func lshapedCall(nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.Machine) (int, bool) {
+	p := len(parts)
+	ownerOf := map[sop.Var]int{}
+	for w, part := range parts {
+		for _, v := range part {
+			ownerOf[v] = w
+		}
+	}
+
+	mats := make([]*kcm.Matrix, p)
+	var ls []*lshape.LMatrix
+	var exch lshape.ExchangeStats
+	st := NewStateTable()
+	st.SetOwnerCheck(!opt.DisableOwnerCheck)
+	queues := make([]*fwdQueue, p)
+	for w := range queues {
+		queues[w] = &fwdQueue{}
+	}
+	var nwMu sync.Mutex // guards all network mutation and reads during cover
+	newNodes := make([][]sop.Var, p)
+	usedNodes := make([]map[sop.Var]bool, p)
+	var overBudget atomic.Bool
+
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			usedNodes[w] = map[sop.Var]bool{}
+
+			// Phase 1: build this partition's matrix with offset
+			// labels (concurrent, read-only on the network).
+			b := kcm.NewBuilder(w, opt.Kernel)
+			for _, v := range parts[w] {
+				b.AddNode(nw, v)
+			}
+			mats[w] = b.Matrix()
+			mc.ChargeKernelPairs(w, len(mats[w].Rows()))
+			mc.ChargeMatrixEntries(w, mats[w].NumEntries())
+			// Send the kernel-cube list to the master (§5.2).
+			mc.ChargeSend(w, 0, len(mats[w].Cols()))
+			mc.Barrier(w)
+
+			// Phase 2: the master distributes cube ownership and
+			// the workers exchange B_ij blocks. Worker 0 computes
+			// the assembly; communication costs are charged per
+			// the exchange statistics.
+			if w == 0 {
+				own := lshape.Distribute(mats)
+				ls, exch = lshape.Assemble(mats, own)
+				for i := range exch.Words {
+					// Mapping back to each worker.
+					mc.ChargeSend(0, i, len(mats[i].Cols()))
+				}
+			}
+			mc.Barrier(w)
+			for j := 0; j < p; j++ {
+				if n := exch.Words[w][j]; n > 0 {
+					mc.ChargeSend(w, j, n)
+				}
+			}
+			mc.Barrier(w)
+
+			// Phase 3: concurrent greedy cover of this worker's
+			// L-shaped matrix, with speculative covering in the
+			// shared state table and forwarding of partial
+			// rectangles. The budget is checked between
+			// rectangles.
+			l := ls[w]
+			// banned holds cubes this worker lost a claim race
+			// for: excluding them from future searches guarantees
+			// progress when two workers speculate on overlapping
+			// rectangles (each failed claim shrinks the loser's
+			// search space; the winner divides the cubes).
+			banned := map[int64]bool{}
+			val := func(e kcm.Entry) int {
+				if banned[e.CubeID] {
+					return 0
+				}
+				return st.Value(w, e.CubeID, e.Weight)
+			}
+			batchK := opt.BatchK
+			if batchK < 1 {
+				batchK = 1
+			}
+		cover:
+			for {
+				if opt.WorkBudget > 0 && mc.Clock(w) > opt.WorkBudget {
+					overBudget.Store(true)
+					break
+				}
+				var specIDs []int64
+				cfg := opt.Rect
+				cfg.OnBest = func(prev, next rect.Rect) {
+					// Release the previous incumbent's cubes
+					// (copy back truevals) and cover the new
+					// one's (§5.3).
+					mc.ChargeLock(w)
+					if prev.Rows != nil {
+						ids, _ := rectCubes(l.M, prev)
+						st.Release(w, ids)
+					}
+					ids, weights := rectCubes(l.M, next)
+					st.Cover(w, ids, weights)
+					specIDs = ids
+				}
+				batch, stats := rect.BestK(l.M, cfg, val, batchK)
+				mc.ChargeSearchVisits(w, stats.Visits)
+				if len(batch) == 0 {
+					if specIDs != nil {
+						st.Release(w, specIDs)
+					}
+					break
+				}
+				progressed := false
+				for _, best := range batch {
+					ids, weights := rectCubes(l.M, best)
+					// Per-node groups and their zero-cost gains,
+					// evaluated before the claim consumes the
+					// values.
+					groups := extract.GroupRows(l.M, best)
+					zc := make([]int, len(groups))
+					backs := make([][]sop.Cube, len(groups))
+					for gi, nr := range groups {
+						zc[gi], backs[gi] = zeroCostGainState(l.M, nr, st, w)
+						if opt.DisableZeroCostCheck {
+							zc[gi] = 1 // always re-expand (ablation)
+						}
+					}
+					// Atomic claim: the rectangle must still be
+					// profitable with the values this worker can
+					// actually bank.
+					mc.ChargeLock(w)
+					rowCost := 0
+					for _, rid := range best.Rows {
+						rowCost += l.M.Row(rid).CoKernel.Weight() + 1
+					}
+					kernelCost := 0
+					for _, c := range best.Cols {
+						kernelCost += l.M.Col(c).Cube.Weight()
+					}
+					_, ok := st.Claim(w, ids, weights, func(total int) bool {
+						return total-rowCost-kernelCost > 0
+					})
+					if !ok {
+						// Values were stolen by a peer: ban the
+						// cubes locally and try the next
+						// candidate.
+						for _, id := range ids {
+							banned[id] = true
+						}
+						continue
+					}
+					progressed = true
+					// Extract: create the kernel node, divide own
+					// nodes, forward foreign ones.
+					kernel := extract.KernelOf(l.M, best)
+					nwMu.Lock()
+					v := nw.NewNodeVar(kernel)
+					nwMu.Unlock()
+					mc.ChargeLock(w)
+					newNodes[w] = append(newNodes[w], v)
+					touched := kernel.NumCubes()
+					for gi, nr := range groups {
+						owner := ownerOf[nr.Node]
+						if owner == w {
+							nwMu.Lock()
+							t, ch := extract.DivideNode(nw, nr.Node, v, kernel, backs[gi], zc[gi])
+							nwMu.Unlock()
+							touched += t
+							if ch {
+								usedNodes[w][v] = true
+							}
+							continue
+						}
+						queues[owner].push(fwdMsg{
+							node: nr.Node, kernel: kernel, kvar: v,
+							addBack: backs[gi], zcGain: zc[gi],
+						})
+						mc.ChargeSend(w, owner, len(nr.Rows)+len(nr.Cols))
+					}
+					mc.ChargeDivisionCubes(w, touched)
+				}
+				// Process any forwarded divisions between our own
+				// iterations ("once it has completed one iteration
+				// of kernel extraction", §5.3).
+				processForwards(nw, &nwMu, queues[w], usedNodes[w], mc, w)
+				if !progressed {
+					// Every candidate's value was stolen by
+					// peers; their state-table marks make the
+					// next search converge, and an empty search
+					// ends the cover.
+					continue cover
+				}
+			}
+			mc.Barrier(w)
+			// Phase 4: final drain — every extraction is done, so
+			// the queues are stable.
+			processForwards(nw, &nwMu, queues[w], usedNodes[w], mc, w)
+			mc.Barrier(w)
+		}(w)
+	}
+	wg.Wait()
+
+	// Keep only kernels that some division actually used; assign
+	// them to their extractor's partition for the next call.
+	used := map[sop.Var]bool{}
+	for _, um := range usedNodes {
+		for v := range um {
+			used[v] = true
+		}
+	}
+	extracted := 0
+	for w := range parts {
+		for _, v := range newNodes[w] {
+			if used[v] {
+				parts[w] = append(parts[w], v)
+				extracted++
+			} else {
+				nw.RemoveNode(v)
+			}
+		}
+	}
+	return extracted, overBudget.Load()
+}
+
+// processForwards divides this worker's nodes by kernels extracted on
+// other workers (partial rectangles, §5.3).
+func processForwards(nw *network.Network, nwMu *sync.Mutex, q *fwdQueue, used map[sop.Var]bool, mc *vtime.Machine, w int) {
+	for _, m := range q.drain() {
+		nwMu.Lock()
+		t, ch := extract.DivideNode(nw, m.node, m.kvar, m.kernel, m.addBack, m.zcGain)
+		nwMu.Unlock()
+		mc.ChargeDivisionCubes(w, t)
+		mc.ChargeLock(w)
+		if ch {
+			used[m.kvar] = true
+		}
+	}
+}
+
+// rectCubes lists the distinct function cubes a rectangle covers,
+// with their weights.
+func rectCubes(m *kcm.Matrix, r rect.Rect) ([]int64, []int) {
+	var ids []int64
+	var weights []int
+	seen := map[int64]bool{}
+	for _, rid := range r.Rows {
+		row := m.Row(rid)
+		for _, c := range r.Cols {
+			if e, ok := row.Entry(c); ok && !seen[e.CubeID] {
+				seen[e.CubeID] = true
+				ids = append(ids, e.CubeID)
+				weights = append(weights, e.Weight)
+			}
+		}
+	}
+	return ids, weights
+}
+
+// zeroCostGainState is extract.ZeroCostGain against the shared state
+// table instead of a covered set: the gain of rewriting one node's
+// rows assuming the kernel costs nothing, with cube values as worker
+// w currently sees them.
+func zeroCostGainState(m *kcm.Matrix, nr extract.NodeRows, st *StateTable, w int) (int, []sop.Cube) {
+	gain := 0
+	var cubes []sop.Cube
+	for _, rid := range nr.Rows {
+		row := m.Row(rid)
+		rowVal := 0
+		for _, c := range nr.Cols {
+			e, ok := row.Entry(c)
+			if !ok {
+				continue
+			}
+			rowVal += st.Value(w, e.CubeID, e.Weight)
+			if fc, ok2 := row.CoKernel.Union(m.Col(c).Cube); ok2 {
+				cubes = append(cubes, fc)
+			}
+		}
+		gain += rowVal - (row.CoKernel.Weight() + 1)
+	}
+	return gain, cubes
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/network"
+	"repro/internal/partition"
+	"repro/internal/sop"
+	"repro/internal/vtime"
+)
+
+// Partitioned runs the §4 parallel algorithm on p virtual
+// processors: the circuit is min-cut partitioned into p parts and
+// each worker factors its part completely independently — no
+// synchronization, no interaction. Each worker effectively covers
+// only a horizontal slice of the global co-kernel cube matrix, so
+// rectangles spanning partitions are missed and kernels get
+// duplicated (Example 4.1), but the search space per worker shrinks
+// superlinearly — the source of the paper's super-linear speedups.
+func Partitioned(nw *network.Network, p int, opt Options) RunResult {
+	mc := vtime.NewMachine(p, opt.model())
+	start := time.Now()
+	res := RunResult{Algorithm: "partitioned", P: p}
+
+	parts := partition.KWay(nw, nil, p, opt.Partition)
+	clones := make([]*network.Network, p)
+	results := make([]extract.Result, p)
+	callCounts := make([]int, p)
+	for w := 0; w < p; w++ {
+		clones[w] = nw.CloneDetached()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r, calls := extract.Repeat(clones[w], parts[w], extract.Options{
+				Kernel: opt.Kernel,
+				Rect:   opt.Rect,
+				BatchK: opt.BatchK,
+			})
+			results[w] = r
+			callCounts[w] = calls
+			chargeWork(mc, w, r.Work)
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge the independently factored partitions back into the
+	// caller's network.
+	orig := map[sop.Var]bool{}
+	for _, v := range nw.NodeVars() {
+		orig[v] = true
+	}
+	for w := 0; w < p; w++ {
+		mergeBack(nw, clones[w], parts[w], orig, w)
+		res.Extracted += results[w].Extracted
+		if callCounts[w] > res.Calls {
+			res.Calls = callCounts[w]
+		}
+	}
+
+	res.LC = nw.Literals()
+	res.VirtualTime = mc.Elapsed()
+	res.TotalWork = mc.TotalWork()
+	res.WallClock = time.Since(start)
+	return res
+}
+
+// mergeBack copies worker w's factored partition from its clone into
+// main: new nodes (extracted kernels) are re-created under
+// collision-free names, and the partition's node functions are
+// rewritten with translated variables. Variables that existed before
+// the run have identical ids in main and clone (detached clones
+// preserve assignments), so only new nodes need mapping.
+func mergeBack(main, clone *network.Network, part []sop.Var, orig map[sop.Var]bool, w int) {
+	vmap := map[sop.Var]sop.Var{}
+	translate := func(f sop.Expr) sop.Expr {
+		cubes := make([]sop.Cube, 0, f.NumCubes())
+		for _, c := range f.Cubes() {
+			lits := make([]sop.Lit, 0, len(c))
+			for _, l := range c {
+				v := l.Var()
+				if mv, ok := vmap[v]; ok {
+					v = mv
+				}
+				lits = append(lits, sop.MkLit(v, l.IsNeg()))
+			}
+			nc, ok := sop.NewCube(lits...)
+			if ok {
+				cubes = append(cubes, nc)
+			}
+		}
+		return sop.NewExpr(cubes...)
+	}
+	// New nodes in creation order only ever reference original
+	// variables or earlier new nodes, so one forward pass suffices.
+	i := 0
+	for _, v := range clone.NodeVars() {
+		if orig[v] {
+			continue
+		}
+		name := fmt.Sprintf("[w%d_%d]", w, i)
+		i++
+		mv := main.MustAddNode(name, translate(clone.Node(v).Fn))
+		vmap[v] = mv
+	}
+	for _, v := range part {
+		main.SetFn(v, translate(clone.Node(v).Fn))
+	}
+}

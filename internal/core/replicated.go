@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/kcm"
+	"repro/internal/network"
+	"repro/internal/rect"
+	"repro/internal/sop"
+	"repro/internal/vtime"
+)
+
+// Replicated runs the §3 parallel algorithm on p virtual processors:
+// the circuit and the KC matrix are replicated in every worker; the
+// nodes are conceptually partitioned to divide matrix generation;
+// generated kernels are broadcast so all workers hold the same
+// labeled matrix; the rectangle search tree is split by leftmost
+// column; and after a barrier every worker redundantly divides its
+// own circuit copy with the one global best rectangle. Quality
+// matches the sequential algorithm (same search path); speedup is
+// limited by the per-extraction barriers and the redundant division
+// and merge work; memory grows with p (the paper's reason it cannot
+// handle spla and ex1010).
+func Replicated(nw *network.Network, p int, opt Options) RunResult {
+	mc := vtime.NewMachine(p, opt.model())
+	start := time.Now()
+	res := RunResult{Algorithm: "replicated", P: p}
+
+	// Worker 0 operates on the caller's network; the rest hold
+	// replicas with detached name tables. All copies evolve
+	// identically, which is exactly the redundancy the paper
+	// charges this algorithm for.
+	nets := make([]*network.Network, p)
+	nets[0] = nw
+	for w := 1; w < p; w++ {
+		nets[w] = nw.CloneDetached()
+	}
+	active := nw.NodeVars()
+
+	for {
+		res.Calls++
+		before := nw.NumNodes()
+		dnf := replicatedCall(nets, active, opt, mc)
+		if dnf {
+			res.DNF = true
+			break
+		}
+		vars := nw.NodeVars()
+		if len(vars) == before {
+			break
+		}
+		res.Extracted += len(vars) - before
+		active = append(active, vars[before:]...)
+	}
+
+	res.LC = nw.Literals()
+	res.VirtualTime = mc.Elapsed()
+	res.TotalWork = mc.TotalWork()
+	res.Barriers = mc.Barriers()
+	res.WallClock = time.Since(start)
+	return res
+}
+
+// replicatedCall performs one lockstep factorization call across all
+// workers and reports whether the work budget was exceeded.
+func replicatedCall(nets []*network.Network, active []sop.Var, opt Options, mc *vtime.Machine) bool {
+	p := len(nets)
+	mats := make([]*kcm.Matrix, p)
+	bests := make([]rect.Rect, p)
+	dnf := false
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			net := nets[w]
+
+			// Phase 1: generate kernels for this worker's share
+			// of the nodes (round-robin split), with offset
+			// labels so all merged matrices agree.
+			b := kcm.NewBuilder(w, opt.Kernel)
+			for i, v := range active {
+				if i%p == w {
+					b.AddNode(net, v)
+				}
+			}
+			mats[w] = b.Matrix()
+			mc.ChargeKernelPairs(w, len(mats[w].Rows()))
+			mc.ChargeMatrixEntries(w, mats[w].NumEntries())
+			// Broadcast this worker's kernels to every peer.
+			mc.ChargeBroadcast(w, mats[w].NumEntries())
+			mc.Barrier(w)
+
+			// Phase 2: every worker assembles its own full copy
+			// of the matrix — identical labels everywhere, and
+			// redundant work everywhere.
+			merged := kcm.NewMatrix()
+			total := 0
+			for j := 0; j < p; j++ {
+				kcm.Merge(merged, mats[j])
+				total += mats[j].NumEntries()
+			}
+			mc.ChargeMatrixEntries(w, total)
+			mc.Barrier(w)
+
+			// Phase 3: lockstep greedy cover. Each worker owns a
+			// slice of root columns; the global best is reduced
+			// after a barrier and applied by everyone.
+			covered := map[int64]bool{}
+			slices := rect.SplitColumns(merged, p)
+			for {
+				cfg := opt.Rect
+				cfg.LeftmostCols = slices[w]
+				if len(slices[w]) == 0 {
+					// Worker without columns still participates
+					// in the barriers.
+					cfg.LeftmostCols = []int64{-1}
+				}
+				best, stats := rect.Best(merged, cfg, rect.CoveredValuer(covered))
+				mc.ChargeSearchVisits(w, stats.Visits)
+				bests[w] = best
+				mc.Barrier(w)
+				// Deterministic reduction, recomputed identically
+				// by every worker; clocks are level here, so the
+				// budget decision is identical too.
+				winner := bests[0]
+				for j := 1; j < p; j++ {
+					if rect.CompareRects(bests[j], winner) < 0 {
+						winner = bests[j]
+					}
+				}
+				overBudget := opt.WorkBudget > 0 && mc.Clock(w) > opt.WorkBudget
+				mc.Barrier(w)
+				if overBudget {
+					if w == 0 {
+						dnf = true
+					}
+					return
+				}
+				if winner.Rows == nil {
+					return
+				}
+				// The winning rectangle is broadcast by its
+				// finder.
+				if len(winner.Rows) > 0 && sameRect(winner, bests[w]) {
+					mc.ChargeBroadcast(w, len(winner.Rows)+len(winner.Cols))
+				}
+				kernel := extract.KernelOf(merged, winner)
+				_, touched, _ := extract.ApplyRect(net, merged, winner, kernel, covered)
+				mc.ChargeDivisionCubes(w, touched)
+				mc.Barrier(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return dnf
+}
+
+func sameRect(a, b rect.Rect) bool {
+	return rect.CompareRects(a, b) == 0
+}

@@ -1,0 +1,208 @@
+// Package core implements the paper's contribution: three parallel
+// algorithms for algebraic factorization (kernel extraction).
+//
+//   - Replicated (§3, Table 2): every worker holds a full copy of the
+//     circuit and of the KC matrix; the rectangle search tree is split
+//     by leftmost column; a barrier per extraction step selects one
+//     global best rectangle which every worker redundantly applies.
+//   - Partitioned (§4, Table 3): min-cut circuit partitions factored
+//     completely independently, no interaction.
+//   - LShaped (§5, Tables 4–6): min-cut partitions with L-shaped KC
+//     matrices (disjoint kernel-cube ownership plus exchanged B_ij
+//     overlap blocks) and a shared per-cube state machine that keeps
+//     concurrent speculative covering consistent.
+//
+// All three run real goroutine workers over the virtual-time machine
+// model of internal/vtime; see DESIGN.md for why speedups are
+// measured in virtual time on this host.
+package core
+
+import (
+	"sync"
+)
+
+// CubeState is the lifecycle of a function cube during concurrent
+// extraction — Table 5 of the paper.
+type CubeState int
+
+const (
+	// Free: not covered by any best rectangle; its full literal
+	// value is claimable by anyone.
+	Free CubeState = iota
+	// Covered: speculatively covered by some worker's best
+	// rectangle but not divided yet. The owner still sees the true
+	// value (it may replace its own best rectangle); everyone else
+	// sees zero.
+	Covered
+	// Divided: covered by an extracted rectangle and rewritten;
+	// worth zero to everyone, permanently.
+	Divided
+)
+
+// String renders the state as in Table 5.
+func (s CubeState) String() string {
+	switch s {
+	case Free:
+		return "FREE"
+	case Covered:
+		return "COVERED"
+	case Divided:
+		return "DIVIDED"
+	}
+	return "?"
+}
+
+type cubeInfo struct {
+	state   CubeState
+	trueval int
+	owner   int
+}
+
+// StateTable is the shared cube-state table of §5.3: per function
+// cube (by global CubeID), the current value, the saved true value,
+// and the speculating owner. It is safe for concurrent use; workers
+// pay a modeled lock cost via their machine clocks (charged by the
+// callers, which know their worker ids).
+type StateTable struct {
+	mu    sync.Mutex
+	cubes map[int64]*cubeInfo
+	// ownerCheck mirrors the paper's owner-qualified COVERED state.
+	// When disabled (ablation), a covered cube reads as zero even
+	// to its owner, reintroducing the order-dependent bias of the
+	// {(1,2)(4,5)} example in §5.3.
+	ownerCheck bool
+}
+
+// NewStateTable returns an empty table with the owner check enabled.
+func NewStateTable() *StateTable {
+	return &StateTable{cubes: map[int64]*cubeInfo{}, ownerCheck: true}
+}
+
+// SetOwnerCheck toggles the owner-qualified value rule (ablation).
+func (st *StateTable) SetOwnerCheck(on bool) { st.ownerCheck = on }
+
+// Value returns the literal value worker p may claim for cube id
+// whose uncovered worth is weight: FREE cubes are worth their weight,
+// COVERED cubes their true value to the owner and zero to others,
+// DIVIDED cubes zero to everyone.
+func (st *StateTable) Value(p int, id int64, weight int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.valueLocked(p, id, weight)
+}
+
+func (st *StateTable) valueLocked(p int, id int64, weight int) int {
+	ci, ok := st.cubes[id]
+	if !ok {
+		return weight
+	}
+	switch ci.state {
+	case Free:
+		return weight
+	case Covered:
+		if st.ownerCheck && ci.owner == p {
+			return ci.trueval
+		}
+		return 0
+	default: // Divided
+		return 0
+	}
+}
+
+// Cover marks the cubes as speculatively covered by worker p, saving
+// their true values. Cubes already divided, or covered by another
+// worker, are left alone (p could not claim their value anyway).
+func (st *StateTable) Cover(p int, ids []int64, weights []int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, id := range ids {
+		ci, ok := st.cubes[id]
+		if !ok {
+			st.cubes[id] = &cubeInfo{state: Covered, trueval: weights[i], owner: p}
+			continue
+		}
+		if ci.state == Free {
+			ci.state = Covered
+			ci.trueval = weights[i]
+			ci.owner = p
+		}
+	}
+}
+
+// Release copies true values back for the cubes worker p had covered
+// (it found a better rectangle, §5.3), making them FREE again.
+func (st *StateTable) Release(p int, ids []int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, id := range ids {
+		if ci, ok := st.cubes[id]; ok && ci.state == Covered && ci.owner == p {
+			ci.state = Free
+		}
+	}
+}
+
+// Divide marks the cubes as divided — covered by an extracted
+// rectangle — permanently worth zero.
+func (st *StateTable) Divide(ids []int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, id := range ids {
+		ci, ok := st.cubes[id]
+		if !ok {
+			st.cubes[id] = &cubeInfo{state: Divided}
+			continue
+		}
+		ci.state = Divided
+		ci.trueval = 0
+	}
+}
+
+// State returns the current state of a cube (FREE if never seen).
+func (st *StateTable) State(id int64) CubeState {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ci, ok := st.cubes[id]; ok {
+		return ci.state
+	}
+	return Free
+}
+
+// Claim atomically re-validates and finalizes a claim: it recomputes
+// the total value of the given cubes as seen by worker p, and if
+// accept(value) returns true, marks them all divided and reports
+// success. Used at extraction time so that of two workers speculating
+// on overlapping rectangles, only one banks the shared cubes' value.
+func (st *StateTable) Claim(p int, ids []int64, weights []int, accept func(total int) bool) (int, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	total := 0
+	seen := map[int64]bool{}
+	for i, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		total += st.valueLocked(p, id, weights[i])
+	}
+	if !accept(total) {
+		// Failed claims release p's speculative covers so other
+		// workers can use the cubes.
+		for _, id := range ids {
+			if ci, ok := st.cubes[id]; ok && ci.state == Covered && ci.owner == p {
+				ci.state = Free
+			}
+		}
+		return total, false
+	}
+	for i, id := range ids {
+		ci, ok := st.cubes[id]
+		if !ok {
+			st.cubes[id] = &cubeInfo{state: Divided}
+			continue
+		}
+		ci.state = Divided
+		ci.trueval = 0
+		_ = weights[i]
+	}
+	return total, true
+}

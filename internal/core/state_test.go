@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStateTableLifecycle(t *testing.T) {
+	// Table 5: FREE -> COVERED -> DIVIDED.
+	st := NewStateTable()
+	if st.State(1) != Free {
+		t.Fatal("unseen cube must be FREE")
+	}
+	if v := st.Value(0, 1, 5); v != 5 {
+		t.Fatalf("free value = %d want 5", v)
+	}
+	st.Cover(0, []int64{1}, []int{5})
+	if st.State(1) != Covered {
+		t.Fatal("cube not covered")
+	}
+	// Owner sees the true value; others see zero (§5.3).
+	if v := st.Value(0, 1, 5); v != 5 {
+		t.Fatalf("owner value = %d want 5", v)
+	}
+	if v := st.Value(1, 1, 5); v != 0 {
+		t.Fatalf("non-owner value = %d want 0", v)
+	}
+	st.Divide([]int64{1})
+	if st.State(1) != Divided {
+		t.Fatal("cube not divided")
+	}
+	if st.Value(0, 1, 5) != 0 || st.Value(1, 1, 5) != 0 {
+		t.Fatal("divided cube must be worth 0 to everyone")
+	}
+}
+
+func TestStateTableRelease(t *testing.T) {
+	st := NewStateTable()
+	st.Cover(0, []int64{1, 2}, []int{3, 4})
+	st.Release(0, []int64{1})
+	if st.State(1) != Free {
+		t.Fatal("released cube must be FREE")
+	}
+	if v := st.Value(1, 1, 3); v != 3 {
+		t.Fatalf("released cube value = %d want 3 (trueval copied back)", v)
+	}
+	// Release by a non-owner is a no-op.
+	st.Release(1, []int64{2})
+	if st.State(2) != Covered {
+		t.Fatal("non-owner release must not free the cube")
+	}
+}
+
+func TestStateTableCoverDoesNotSteal(t *testing.T) {
+	st := NewStateTable()
+	st.Cover(0, []int64{7}, []int{9})
+	st.Cover(1, []int64{7}, []int{9})
+	if v := st.Value(0, 7, 9); v != 9 {
+		t.Fatal("first coverer must keep ownership")
+	}
+	if v := st.Value(1, 7, 9); v != 0 {
+		t.Fatal("second coverer must see 0")
+	}
+}
+
+func TestStateTableOwnerCheckAblation(t *testing.T) {
+	st := NewStateTable()
+	st.SetOwnerCheck(false)
+	st.Cover(0, []int64{1}, []int{5})
+	// The §5.3 bias: even the owner sees zero, so a bigger later
+	// rectangle evaluates worse than a smaller earlier one.
+	if v := st.Value(0, 1, 5); v != 0 {
+		t.Fatalf("ablated owner value = %d want 0", v)
+	}
+}
+
+func TestClaimSuccessAndFailure(t *testing.T) {
+	st := NewStateTable()
+	// Worker 0 speculates on cubes 1,2.
+	st.Cover(0, []int64{1, 2}, []int{4, 4})
+	// Worker 1 tries to claim them: sees 0, accept fails, and its
+	// own speculative covers (none here) are released.
+	total, ok := st.Claim(1, []int64{1, 2}, []int{4, 4}, func(tot int) bool { return tot > 0 })
+	if ok || total != 0 {
+		t.Fatalf("claim by non-owner got total=%d ok=%v", total, ok)
+	}
+	// Worker 0 claims successfully; cubes become DIVIDED.
+	total, ok = st.Claim(0, []int64{1, 2}, []int{4, 4}, func(tot int) bool { return tot == 8 })
+	if !ok || total != 8 {
+		t.Fatalf("owner claim got total=%d ok=%v", total, ok)
+	}
+	if st.State(1) != Divided || st.State(2) != Divided {
+		t.Fatal("claimed cubes must be DIVIDED")
+	}
+}
+
+func TestClaimFailureReleasesOwn(t *testing.T) {
+	st := NewStateTable()
+	st.Cover(0, []int64{5}, []int{3})
+	_, ok := st.Claim(0, []int64{5}, []int{3}, func(tot int) bool { return false })
+	if ok {
+		t.Fatal("claim should fail")
+	}
+	if st.State(5) != Free {
+		t.Fatal("failed claim must release own covers")
+	}
+}
+
+func TestClaimDeduplicatesCubes(t *testing.T) {
+	st := NewStateTable()
+	total, ok := st.Claim(0, []int64{9, 9, 9}, []int{5, 5, 5}, func(tot int) bool { return true })
+	if !ok || total != 5 {
+		t.Fatalf("duplicate cube counted more than once: total=%d", total)
+	}
+}
+
+func TestStateTableConcurrentSafety(t *testing.T) {
+	st := NewStateTable()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 200; i++ {
+				st.Cover(w, []int64{i % 17}, []int{3})
+				st.Value(w, i%17, 3)
+				if i%5 == 0 {
+					st.Release(w, []int64{i % 17})
+				}
+				if i%11 == 0 {
+					st.Claim(w, []int64{i % 17}, []int{3},
+						func(tot int) bool { return tot > 0 })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Exactly one terminal observation per cube id; just ensure no
+	// panic/race and states are valid.
+	for i := int64(0); i < 17; i++ {
+		s := st.State(i)
+		if s != Free && s != Covered && s != Divided {
+			t.Fatalf("invalid state %v", s)
+		}
+	}
+}
+
+func TestCubeStateString(t *testing.T) {
+	if Free.String() != "FREE" || Covered.String() != "COVERED" || Divided.String() != "DIVIDED" {
+		t.Fatal("state names must match Table 5")
+	}
+	if CubeState(99).String() != "?" {
+		t.Fatal("unknown state")
+	}
+}

@@ -1,0 +1,114 @@
+// Package eqn reads and writes networks in SIS's equation format:
+//
+//	INORDER = a b c d e f g;
+//	OUTORDER = F G H;
+//	F = a*f + b*f + a*g;
+//	G = a*f + b*f;
+//
+// Statements end with ';' and may span lines. '#' starts a comment.
+// The expression grammar is the one of sop.ParseExpr (sums of
+// products, ' or ! for complement).
+package eqn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+// Read parses an equation file into a network named name.
+func Read(r io.Reader, name string) (*network.Network, error) {
+	nw := network.New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var stmt strings.Builder
+	lineNo := 0
+	var outputs []string
+	flush := func() error {
+		s := strings.TrimSpace(stmt.String())
+		stmt.Reset()
+		if s == "" {
+			return nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("eqn:%d: statement without '=': %q", lineNo, s)
+		}
+		lhs := strings.TrimSpace(s[:eq])
+		rhs := strings.TrimSpace(s[eq+1:])
+		switch lhs {
+		case "INORDER":
+			for _, in := range strings.Fields(rhs) {
+				nw.AddInput(in)
+			}
+		case "OUTORDER":
+			outputs = append(outputs, strings.Fields(rhs)...)
+		default:
+			fn, err := sop.ParseExpr(nw.Names, rhs)
+			if err != nil {
+				return fmt.Errorf("eqn:%d: %s: %w", lineNo, lhs, err)
+			}
+			if _, err := nw.AddNode(lhs, fn); err != nil {
+				return fmt.Errorf("eqn:%d: %w", lineNo, err)
+			}
+		}
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for {
+			semi := strings.IndexByte(line, ';')
+			if semi < 0 {
+				stmt.WriteString(line)
+				stmt.WriteByte(' ')
+				break
+			}
+			stmt.WriteString(line[:semi])
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			line = line[semi+1:]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(stmt.String()) != "" {
+		return nil, fmt.Errorf("eqn: unterminated statement %q", strings.TrimSpace(stmt.String()))
+	}
+	for _, o := range outputs {
+		nw.AddOutput(o)
+	}
+	if err := nw.CheckDriven(); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// Write serializes the network in equation format.
+func Write(w io.Writer, nw *network.Network) error {
+	bw := bufio.NewWriter(w)
+	names := nw.Names
+	fmt.Fprintf(bw, "INORDER =")
+	for _, v := range nw.Inputs() {
+		fmt.Fprintf(bw, " %s", names.Name(v))
+	}
+	fmt.Fprintln(bw, ";")
+	fmt.Fprintf(bw, "OUTORDER =")
+	for _, v := range nw.Outputs() {
+		fmt.Fprintf(bw, " %s", names.Name(v))
+	}
+	fmt.Fprintln(bw, ";")
+	for _, v := range nw.NodeVars() {
+		fmt.Fprintf(bw, "%s = %s;\n", names.Name(v), nw.Node(v).Fn.Format(names.Fmt()))
+	}
+	return bw.Flush()
+}

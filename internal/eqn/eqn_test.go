@@ -1,0 +1,84 @@
+package eqn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/equiv"
+	"repro/internal/network"
+)
+
+const sample = `
+# Eq. 1 of the paper
+INORDER = a b c d e f g;
+OUTORDER = F G H;
+F = a*f + b*f + a*g + c*g
+  + a*d*e + b*d*e + c*d*e;
+G = a*f + b*f + a*c*e + b*c*e;
+H = a*d*e + c*d*e;
+`
+
+func TestReadPaperNetwork(t *testing.T) {
+	nw, err := Read(strings.NewReader(sample), "eq1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Literals() != 33 {
+		t.Fatalf("LC = %d want 33", nw.Literals())
+	}
+	ref := network.PaperExample()
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ref := network.PaperExample()
+	var buf bytes.Buffer
+	if err := Write(&buf, ref); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()), "eq1")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if back.Literals() != ref.Literals() {
+		t.Fatalf("LC %d != %d", back.Literals(), ref.Literals())
+	}
+	if err := equiv.Check(ref, back, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegationForms(t *testing.T) {
+	src := "INORDER = a b; OUTORDER = y; y = a'*b + a*!b;"
+	nw, err := Read(strings.NewReader(src), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Write(&buf, nw)
+	back, err := Read(bytes.NewReader(buf.Bytes()), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equiv.Check(nw, back, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"no equals":    "INORDER = a; foo;",
+		"bad expr":     "INORDER = a; y = a + + b;",
+		"undriven":     "OUTORDER = y;",
+		"unterminated": "INORDER = a; y = a",
+		"dup node":     "INORDER = a; y = a; y = a;",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src), "t"); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

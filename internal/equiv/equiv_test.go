@@ -1,0 +1,89 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+func TestEquivalentClones(t *testing.T) {
+	a := network.PaperExample()
+	b := a.Clone()
+	if err := Check(a, b, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsFunctionChange(t *testing.T) {
+	a := network.PaperExample()
+	b := a.Clone()
+	F, _ := b.Names.Lookup("F")
+	b.SetFn(F, sop.MustParseExpr(b.Names, "a"))
+	err := Check(a, b, Options{})
+	if err == nil {
+		t.Fatal("modified network reported equivalent")
+	}
+	if !strings.Contains(err.Error(), "output F") {
+		t.Fatalf("error should name the output: %v", err)
+	}
+}
+
+func TestDetectsSubtleChange(t *testing.T) {
+	// Drop a single cube: only a few input vectors expose it.
+	a := network.PaperExample()
+	b := a.Clone()
+	H, _ := b.Names.Lookup("H")
+	b.SetFn(H, sop.MustParseExpr(b.Names, "a*d*e")) // lost cde
+	if err := Check(a, b, Options{}); err == nil {
+		t.Fatal("dropped cube not detected")
+	}
+}
+
+func TestEquivalentThroughRestructure(t *testing.T) {
+	// F = ab+ac vs F = aX, X = b+c: structurally different,
+	// functionally identical.
+	a := network.New("flat")
+	for _, in := range []string{"a", "b", "c"} {
+		a.AddInput(in)
+	}
+	a.MustAddNode("F", sop.MustParseExpr(a.Names, "a*b + a*c"))
+	a.AddOutput("F")
+
+	b := network.New("deep")
+	for _, in := range []string{"a", "b", "c"} {
+		b.AddInput(in)
+	}
+	b.MustAddNode("X", sop.MustParseExpr(b.Names, "b + c"))
+	b.MustAddNode("F", sop.MustParseExpr(b.Names, "a*X"))
+	b.AddOutput("F")
+	if err := Check(a, b, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncompatibleShapes(t *testing.T) {
+	a := network.PaperExample()
+	b := network.New("tiny")
+	b.AddInput("a")
+	b.MustAddNode("F", sop.MustParseExpr(b.Names, "a"))
+	b.AddOutput("F")
+	if err := Check(a, b, Options{}); err == nil {
+		t.Fatal("different interfaces reported compatible")
+	}
+}
+
+func TestRandomVectorPath(t *testing.T) {
+	// Force the random-vector path with ExhaustiveLimit 1.
+	a := network.PaperExample()
+	b := a.Clone()
+	if err := Check(a, b, Options{ExhaustiveLimit: 1, RandomVectors: 64, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	G, _ := b.Names.Lookup("G")
+	b.SetFn(G, sop.Zero())
+	if err := Check(a, b, Options{ExhaustiveLimit: 1, RandomVectors: 256, Seed: 7}); err == nil {
+		t.Fatal("random vectors missed a gutted output")
+	}
+}

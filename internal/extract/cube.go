@@ -1,0 +1,152 @@
+package extract
+
+import (
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+// CubeExtract performs common-cube extraction (paper §2: "when the
+// subexpression is a cube ... the factoring is called cube
+// extraction"): it repeatedly finds the multi-literal cube whose
+// extraction as a new node saves the most literals, materializes it,
+// and divides the using functions, until no cube is profitable.
+//
+// Candidate cubes are the pairwise intersections of function cubes —
+// the classical heuristic — and a candidate used k times with w
+// literals saves k·(w−1) − w.
+func CubeExtract(nw *network.Network, nodes []sop.Var, maxIters int) Result {
+	if nodes == nil {
+		nodes = nw.NodeVars()
+	}
+	active := append([]sop.Var(nil), nodes...)
+	var res Result
+	for {
+		if maxIters > 0 && res.Iterations >= maxIters {
+			break
+		}
+		res.Iterations++
+		cand, work := bestCommonCube(nw, active)
+		res.Work.SearchVisits += work
+		if cand.cube == nil || cand.gain <= 0 {
+			break
+		}
+		v := nw.NewNodeVar(sop.NewExpr(cand.cube.Clone()))
+		for _, node := range cand.users {
+			fn := nw.Node(node).Fn
+			res.Work.DivisionCubes += fn.NumCubes()
+			nf := substituteCube(fn, v, cand.cube)
+			nw.SetFn(node, nf)
+		}
+		res.Extracted++
+		res.GainEstimate += cand.gain
+		active = append(active, v)
+	}
+	return res
+}
+
+type cubeCand struct {
+	cube  sop.Cube
+	gain  int
+	users []sop.Var
+}
+
+// pairWindow bounds the pairwise candidate scan: each cube is
+// intersected with at most this many successors in the global cube
+// list. Candidates shared by distant cubes still surface because any
+// *adjacent-ish* pair generating the candidate suffices — usage is
+// then counted across all cubes.
+const pairWindow = 24
+
+// maxCandidates bounds the distinct candidate cubes evaluated per
+// iteration, keeping the usage-counting pass linear in practice.
+const maxCandidates = 400
+
+// bestCommonCube scans windowed pairwise intersections of cubes
+// within the given nodes and returns the candidate with maximum
+// literal savings. The returned work counter is the number of cube
+// pairs inspected plus usage-count probes.
+func bestCommonCube(nw *network.Network, nodes []sop.Var) (cubeCand, int) {
+	// Gather all cubes with their owning node.
+	type owned struct {
+		node sop.Var
+		cube sop.Cube
+	}
+	var all []owned
+	for _, v := range nodes {
+		nd := nw.Node(v)
+		if nd == nil {
+			continue
+		}
+		for _, c := range nd.Fn.Cubes() {
+			if len(c) >= 2 {
+				all = append(all, owned{v, c})
+			}
+		}
+	}
+	work := 0
+	seen := map[string]bool{}
+	var best cubeCand
+	consider := func(cand sop.Cube) {
+		if len(cand) < 2 || len(seen) >= maxCandidates {
+			return
+		}
+		key := cand.Key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		// Count usage across all cubes.
+		k := 0
+		userSet := map[sop.Var]bool{}
+		var users []sop.Var
+		for _, o := range all {
+			work++
+			if o.cube.Contains(cand) {
+				k++
+				if !userSet[o.node] {
+					userSet[o.node] = true
+					users = append(users, o.node)
+				}
+			}
+		}
+		if k < 2 {
+			return
+		}
+		gain := k*(len(cand)-1) - len(cand)
+		if gain > best.gain || (gain == best.gain && best.cube != nil && cand.Compare(best.cube) < 0) {
+			sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+			best = cubeCand{cube: cand, gain: gain, users: users}
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		hi := i + 1 + pairWindow
+		if hi > len(all) {
+			hi = len(all)
+		}
+		for j := i + 1; j < hi; j++ {
+			work++
+			consider(all[i].cube.Intersect(all[j].cube))
+		}
+	}
+	return best, work
+}
+
+// substituteCube rewrites every cube of fn containing c to use the
+// literal of v instead of c's literals.
+func substituteCube(fn sop.Expr, v sop.Var, c sop.Cube) sop.Expr {
+	cubes := make([]sop.Cube, 0, fn.NumCubes())
+	for _, fc := range fn.Cubes() {
+		if fc.Contains(c) {
+			rest := fc.Minus(c)
+			nc, ok := rest.Union(sop.Cube{sop.Pos(v)})
+			if ok {
+				cubes = append(cubes, nc)
+				continue
+			}
+		}
+		cubes = append(cubes, fc.Clone())
+	}
+	return sop.NewExpr(cubes...)
+}

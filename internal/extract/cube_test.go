@@ -1,0 +1,104 @@
+package extract
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/equiv"
+	"repro/internal/kcm"
+	"repro/internal/kernels"
+	"repro/internal/network"
+	"repro/internal/rect"
+	"repro/internal/sop"
+)
+
+func TestCubeExtractWindowStillFindsDistantSharing(t *testing.T) {
+	// The shared cube sits in the first and last nodes, far apart
+	// in the global cube list; the windowed pair scan must still
+	// surface it because adjacent pairs inside each node generate
+	// the candidate and usage is counted globally.
+	nw := network.New("far")
+	for _, in := range []string{"a", "b", "c", "d", "e", "f"} {
+		nw.AddInput(in)
+	}
+	nw.MustAddNode("first", sop.MustParseExpr(nw.Names, "a*b*c + a*b*d"))
+	// Filler nodes widen the gap beyond the pair window.
+	for i := 0; i < 40; i++ {
+		nw.MustAddNode(fmt.Sprintf("mid%d", i), sop.MustParseExpr(nw.Names, "e*f"))
+	}
+	nw.MustAddNode("last", sop.MustParseExpr(nw.Names, "a*b*e + a*b*f"))
+	nw.AddOutput("first")
+	nw.AddOutput("last")
+	ref := nw.Clone()
+	res := CubeExtract(nw, nil, 0)
+	if res.Extracted == 0 {
+		t.Fatal("shared cube ab not extracted")
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{ExhaustiveLimit: 6, RandomVectors: 128}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCubeExtractMaxIters(t *testing.T) {
+	nw := network.New("t")
+	for _, in := range []string{"a", "b", "c", "d", "e"} {
+		nw.AddInput(in)
+	}
+	nw.MustAddNode("x", sop.MustParseExpr(nw.Names, "a*b*c + a*b*d + c*d*e"))
+	nw.MustAddNode("y", sop.MustParseExpr(nw.Names, "a*b*e + c*d*a"))
+	nw.AddOutput("x")
+	nw.AddOutput("y")
+	res := CubeExtract(nw, nil, 1)
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d want 1", res.Iterations)
+	}
+}
+
+func TestCubeExtractWorkCounted(t *testing.T) {
+	nw := network.PaperExample()
+	res := CubeExtract(nw, nil, 0)
+	if res.Work.SearchVisits == 0 {
+		t.Fatal("pair-scan work not counted")
+	}
+}
+
+func TestWorkAddAndTotal(t *testing.T) {
+	a := Work{KernelPairs: 1, MatrixEntries: 2, SearchVisits: 3, DivisionCubes: 4}
+	b := Work{KernelPairs: 10, MatrixEntries: 20, SearchVisits: 30, DivisionCubes: 40}
+	a.Add(b)
+	if a.KernelPairs != 11 || a.DivisionCubes != 44 {
+		t.Fatalf("Add broken: %+v", a)
+	}
+	if a.Total() != 11+22+33+44 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+}
+
+func TestGroupRowsDeterministic(t *testing.T) {
+	nw := network.PaperExample()
+	m := buildPaperMatrix(nw)
+	// Build a fake rectangle over rows of two nodes.
+	var rows []int64
+	for _, r := range m.Rows() {
+		rows = append(rows, r.ID)
+	}
+	r := rectOf(rows[:4], m.SortedColIDs()[:2])
+	g1 := GroupRows(m, r)
+	g2 := GroupRows(m, r)
+	if len(g1) != len(g2) {
+		t.Fatal("nondeterministic grouping")
+	}
+	for i := range g1 {
+		if g1[i].Node != g2[i].Node {
+			t.Fatal("group order differs between calls")
+		}
+	}
+}
+
+func buildPaperMatrix(nw *network.Network) *kcm.Matrix {
+	return kcm.Build(nw, nw.NodeVars(), kernels.Options{})
+}
+
+func rectOf(rows, cols []int64) rect.Rect {
+	return rect.Rect{Rows: rows, Cols: cols, Gain: 1}
+}

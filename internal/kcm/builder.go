@@ -1,0 +1,157 @@
+package kcm
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+// Builder constructs a Matrix from network nodes, drawing row, column
+// and cube identifiers from a processor-specific offset range so that
+// concurrent builders on disjoint node sets produce globally
+// consistent labels (paper §5.2).
+type Builder struct {
+	m       *Matrix
+	rowSeq  int64
+	colSeq  int64
+	cubeSeq int64
+	opts    kernels.Options
+	// cubeIDs assigns one global id per (node, function cube).
+	cubeIDs map[cubeKey]int64
+}
+
+type cubeKey struct {
+	node sop.Var
+	key  string
+}
+
+// NewBuilder returns a builder whose labels start at proc·Stride+1.
+// proc 0 therefore labels from 1, proc 1 from 100001, matching the
+// paper's Example 5.1.
+func NewBuilder(proc int, opts kernels.Options) *Builder {
+	base := int64(proc) * Stride
+	return &Builder{
+		m:       NewMatrix(),
+		rowSeq:  base,
+		colSeq:  base,
+		cubeSeq: base,
+		opts:    opts,
+		cubeIDs: map[cubeKey]int64{},
+	}
+}
+
+// AddNode generates the kernels of node v's function and adds one row
+// per (kernel, co-kernel) pair. It returns the number of rows added.
+func (b *Builder) AddNode(nw *network.Network, v sop.Var) int {
+	nd := nw.Node(v)
+	if nd == nil {
+		return 0
+	}
+	return b.AddFunction(v, nd.Fn)
+}
+
+// AddFunction is AddNode for an explicit function, used by tests and
+// by algorithms that operate on function snapshots.
+func (b *Builder) AddFunction(v sop.Var, fn sop.Expr) int {
+	pairs := kernels.All(fn, b.opts)
+	for _, p := range pairs {
+		b.rowSeq++
+		row := &Row{ID: b.rowSeq, Node: v, CoKernel: p.CoKernel}
+		for _, kc := range p.Kernel.Cubes() {
+			col := b.internColumn(kc)
+			fc, ok := p.CoKernel.Union(kc)
+			if !ok {
+				continue // contradictory: not a real function cube
+			}
+			row.Entries = append(row.Entries, Entry{
+				Col:    col.ID,
+				CubeID: b.cubeID(v, fc),
+				Weight: fc.Weight(),
+			})
+		}
+		b.m.addRow(row)
+	}
+	b.m.sortColRows()
+	return len(pairs)
+}
+
+func (b *Builder) internColumn(cube sop.Cube) *Col {
+	if c := b.m.ColByCube(cube); c != nil {
+		return c
+	}
+	b.colSeq++
+	return b.m.internCol(cube, b.colSeq)
+}
+
+func (b *Builder) cubeID(v sop.Var, fc sop.Cube) int64 {
+	k := cubeKey{node: v, key: fc.Key()}
+	if id, ok := b.cubeIDs[k]; ok {
+		return id
+	}
+	b.cubeSeq++
+	b.cubeIDs[k] = b.cubeSeq
+	return b.cubeSeq
+}
+
+// Matrix returns the matrix built so far. The builder may keep adding
+// nodes afterwards; the matrix is live.
+func (b *Builder) Matrix() *Matrix { return b.m }
+
+// Build constructs the KC matrix for all the given nodes of nw using a
+// single processor-0 builder: the sequential construction of §2.
+func Build(nw *network.Network, nodes []sop.Var, opts kernels.Options) *Matrix {
+	b := NewBuilder(0, opts)
+	for _, v := range nodes {
+		b.AddNode(nw, v)
+	}
+	return b.Matrix()
+}
+
+// Merge folds src into dst, unifying columns that hold the same
+// kernel cube (the smaller label wins, keeping labels deterministic
+// regardless of merge order) and re-labeling src's entries
+// accordingly. Rows are assumed disjoint from dst's — in the
+// replicated algorithm every processor kernels a disjoint node set.
+func Merge(dst, src *Matrix) {
+	remap := map[int64]int64{}
+	for _, sc := range src.cols {
+		if dc, ok := dst.colByKey[sc.Cube.Key()]; ok {
+			if sc.ID < dc.ID {
+				// Relabel dst's column to the smaller id.
+				delete(dst.colByID, dc.ID)
+				oldID := dc.ID
+				dc.ID = sc.ID
+				dst.colByID[dc.ID] = dc
+				for _, r := range dst.rows {
+					for i := range r.Entries {
+						if r.Entries[i].Col == oldID {
+							r.Entries[i].Col = dc.ID
+						}
+					}
+					sortEntries(r)
+				}
+			}
+			remap[sc.ID] = dc.ID
+		} else {
+			dst.internCol(sc.Cube, sc.ID)
+			remap[sc.ID] = sc.ID
+		}
+	}
+	for _, sr := range src.rows {
+		nr := &Row{ID: sr.ID, Node: sr.Node, CoKernel: sr.CoKernel}
+		for _, e := range sr.Entries {
+			e.Col = remap[e.Col]
+			nr.Entries = append(nr.Entries, e)
+		}
+		dst.addRow(nr)
+	}
+	dst.sortColRows()
+}
+
+func sortEntries(r *Row) {
+	for i := 1; i < len(r.Entries); i++ {
+		for j := i; j > 0 && r.Entries[j].Col < r.Entries[j-1].Col; j-- {
+			r.Entries[j], r.Entries[j-1] = r.Entries[j-1], r.Entries[j]
+		}
+	}
+}

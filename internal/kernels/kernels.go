@@ -1,0 +1,182 @@
+// Package kernels computes the kernels and co-kernels of SOP
+// expressions: the cube-free primary divisors K(f) = {f/C cube-free}
+// that algebraic factorization searches over (paper §2; Brayton &
+// McMullen's recursive kerneling algorithm).
+package kernels
+
+import (
+	"sort"
+
+	"repro/internal/sop"
+)
+
+// Pair is one kernel together with the co-kernel cube that produced
+// it: Kernel = f / CoKernel, and Kernel is cube-free.
+type Pair struct {
+	// Kernel is the cube-free quotient.
+	Kernel sop.Expr
+	// CoKernel is the cube C with Kernel = f/C. The unit cube marks
+	// the trivial kernel (f itself, when f is cube-free).
+	CoKernel sop.Cube
+	// Depth is the recursion depth at which the kernel was found;
+	// the function's own cube-free quotient has depth 0.
+	Depth int
+}
+
+// Options tunes kernel generation.
+type Options struct {
+	// IncludeTrivial also emits the function's own cube-free
+	// quotient with its common-cube co-kernel even when that
+	// co-kernel is the unit cube. The paper's KC matrices
+	// (Figure 2) omit the trivial kernel, so the default is false.
+	IncludeTrivial bool
+	// MaxDepth, when > 0, stops recursion below that depth,
+	// generating only shallow kernels (a cheap approximation used
+	// by SIS's leveled kernel extraction). 0 means unlimited.
+	MaxDepth int
+}
+
+// All returns all (kernel, co-kernel) pairs of f under opts, in a
+// deterministic order. Identical pairs reached along different
+// recursion paths are deduplicated; the same kernel with different
+// co-kernels yields one pair per co-kernel, since each is a separate
+// row of the co-kernel cube matrix.
+func All(f sop.Expr, opts Options) []Pair {
+	if f.NumCubes() < 2 {
+		return nil
+	}
+	lits := distinctLits(f)
+	idx := make(map[sop.Lit]int, len(lits))
+	for i, l := range lits {
+		idx[l] = i
+	}
+	k := &kerneler{idx: idx, lits: lits, opts: opts, seen: map[string]bool{}}
+	cc := f.CommonCube()
+	g := f.DivCube(cc)
+	k.recurse(0, g, cc, 0)
+	return k.out
+}
+
+type kerneler struct {
+	lits []sop.Lit
+	idx  map[sop.Lit]int
+	opts Options
+	seen map[string]bool
+	out  []Pair
+}
+
+func (k *kerneler) add(kernel sop.Expr, ck sop.Cube, depth int) {
+	if kernel.NumCubes() < 2 {
+		return
+	}
+	if ck.IsUnit() && !k.opts.IncludeTrivial {
+		return
+	}
+	key := ck.Key() + "#" + kernel.Key()
+	if k.seen[key] {
+		return
+	}
+	k.seen[key] = true
+	k.out = append(k.out, Pair{Kernel: kernel, CoKernel: ck, Depth: depth})
+}
+
+// recurse implements KERNEL1(j, g) with co-kernel accumulation: g is
+// cube-free, ck is the cube divided out of the original function so
+// far, and only literals with index >= j are explored (the classical
+// duplicate-avoidance ordering).
+func (k *kerneler) recurse(j int, g sop.Expr, ck sop.Cube, depth int) {
+	k.add(g, ck, depth)
+	if k.opts.MaxDepth > 0 && depth >= k.opts.MaxDepth {
+		return
+	}
+	for i := j; i < len(k.lits); i++ {
+		li := k.lits[i]
+		if cubesWith(g, li) < 2 {
+			continue
+		}
+		fi := g.DivCube(sop.Cube{li})
+		ci := fi.CommonCube()
+		// If the common cube of g/li contains a literal ordered
+		// before li, this kernel was already generated from that
+		// literal's branch.
+		earlier := false
+		for _, l := range ci {
+			if k.idx[l] < i {
+				earlier = true
+				break
+			}
+		}
+		if earlier {
+			continue
+		}
+		sub := fi.DivCube(ci)
+		step, ok := sop.Cube{li}.Union(ci)
+		if !ok {
+			continue // cannot happen for consistent cubes
+		}
+		nck, ok := ck.Union(step)
+		if !ok {
+			continue
+		}
+		k.recurse(i+1, sub, nck, depth+1)
+	}
+}
+
+func cubesWith(g sop.Expr, l sop.Lit) int {
+	n := 0
+	for _, c := range g.Cubes() {
+		if c.Has(l) {
+			n++
+		}
+	}
+	return n
+}
+
+func distinctLits(f sop.Expr) []sop.Lit {
+	seen := map[sop.Lit]bool{}
+	var out []sop.Lit
+	for _, c := range f.Cubes() {
+		for _, l := range c {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsLevel0 reports whether k is a level-0 kernel: no literal appears
+// in two or more of its cubes, i.e. it has no kernels but itself.
+func IsLevel0(k sop.Expr) bool {
+	count := map[sop.Lit]int{}
+	for _, c := range k.Cubes() {
+		for _, l := range c {
+			count[l]++
+			if count[l] >= 2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// KernelCubes returns the distinct cubes appearing across all kernels
+// in pairs, in a deterministic order. These are the columns of the
+// co-kernel cube matrix.
+func KernelCubes(pairs []Pair) []sop.Cube {
+	seen := map[string]bool{}
+	var out []sop.Cube
+	for _, p := range pairs {
+		for _, c := range p.Kernel.Cubes() {
+			key := c.Key()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

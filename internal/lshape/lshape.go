@@ -1,0 +1,198 @@
+// Package lshape implements the paper's L-shaped partitioning of the
+// co-kernel cube matrix (§5.1–5.2): a greedy disjoint distribution of
+// kernel-cube ownership across processors, followed by an exchange of
+// the overlapping sub-blocks B_ij so that every processor holds an
+// L-shaped matrix — its own rows over all of its kernels' columns
+// (the horizontal slab) plus every other processor's rows restricted
+// to the columns it owns (the vertical leg). The overlap is what lets
+// a partitioned search still find rectangles that span partitions,
+// while ownership keeps duplicate kernels from being extracted twice.
+package lshape
+
+import (
+	"sort"
+
+	"repro/internal/kcm"
+	"repro/internal/sop"
+)
+
+// Ownership records the result of Distribute_cube_ownership (§5.2):
+// the disjoint assignment of kernel cubes to processors and the
+// mapping from each processor's local column labels to global ones.
+type Ownership struct {
+	// Owner maps a kernel cube (by key) to its owning processor.
+	Owner map[string]int
+	// GlobalID maps a kernel cube (by key) to its global column
+	// label: the owning processor's local label, as in Example 5.1
+	// where cube a keeps label 1 from processor 0.
+	GlobalID map[string]int64
+	// LocalCubes lists, per processor, the cubes it owns, in
+	// global label order.
+	LocalCubes [][]sop.Cube
+	// LocalToGlobal maps, per processor, local column labels to
+	// global ones.
+	LocalToGlobal []map[int64]int64
+}
+
+// OwnedCols returns the set of global column labels processor p owns.
+func (o *Ownership) OwnedCols(p int) map[int64]bool {
+	out := map[int64]bool{}
+	for key, owner := range o.Owner {
+		if owner == p {
+			out[o.GlobalID[key]] = true
+		}
+	}
+	return out
+}
+
+// Distribute performs the greedy cube-ownership pass of
+// L-SHAPED_PARTITION: processor 0 owns all its cubes, processor i
+// owns all its cubes not owned by processors 0..i-1. Matrices are
+// visited in processor order and columns in label order, so the
+// result is deterministic.
+func Distribute(mats []*kcm.Matrix) *Ownership {
+	o := &Ownership{
+		Owner:         map[string]int{},
+		GlobalID:      map[string]int64{},
+		LocalCubes:    make([][]sop.Cube, len(mats)),
+		LocalToGlobal: make([]map[int64]int64, len(mats)),
+	}
+	for p, m := range mats {
+		o.LocalToGlobal[p] = map[int64]int64{}
+		cols := append([]*kcm.Col(nil), m.Cols()...)
+		sort.Slice(cols, func(i, j int) bool { return cols[i].ID < cols[j].ID })
+		for _, c := range cols {
+			key := c.Cube.Key()
+			if _, taken := o.Owner[key]; !taken {
+				o.Owner[key] = p
+				o.GlobalID[key] = c.ID
+				o.LocalCubes[p] = append(o.LocalCubes[p], c.Cube)
+			}
+			o.LocalToGlobal[p][c.ID] = o.GlobalID[key]
+		}
+	}
+	return o
+}
+
+// LMatrix is one processor's L-shaped matrix.
+type LMatrix struct {
+	// Proc is the owning processor.
+	Proc int
+	// M is the assembled matrix: own rows over all own columns,
+	// plus foreign rows restricted to owned columns. Column labels
+	// are global.
+	M *kcm.Matrix
+	// Owned is the set of global column labels this processor owns.
+	Owned map[int64]bool
+	// OwnRows is the set of row ids originating from this
+	// processor's own partition.
+	OwnRows map[int64]bool
+}
+
+// ExchangeStats reports the words shipped between processors while
+// building the L shapes, for the virtual-time model: Words[i][j] is
+// the entry count processor i sent to processor j (the sub-block
+// B_ij of §5.1 line 11-12).
+type ExchangeStats struct {
+	Words [][]int
+}
+
+// Assemble builds every processor's L-shaped matrix from the
+// per-partition matrices. Row labels are preserved; column labels are
+// rewritten to global ones, so entries denoting the same function
+// cube carry the same CubeID everywhere — the shared state the §5.3
+// protocol relies on.
+func Assemble(mats []*kcm.Matrix, o *Ownership) ([]*LMatrix, ExchangeStats) {
+	n := len(mats)
+	stats := ExchangeStats{Words: make([][]int, n)}
+	for i := range stats.Words {
+		stats.Words[i] = make([]int, n)
+	}
+	out := make([]*LMatrix, n)
+	for p := range mats {
+		out[p] = &LMatrix{
+			Proc:    p,
+			M:       kcm.NewMatrix(),
+			Owned:   o.OwnedCols(p),
+			OwnRows: map[int64]bool{},
+		}
+	}
+	// Horizontal slabs: each processor's own rows, relabeled to
+	// global column ids.
+	for p, m := range mats {
+		l := out[p]
+		for _, c := range m.Cols() {
+			gid := o.LocalToGlobal[p][c.ID]
+			l.M.InternColumn(c.Cube, gid)
+		}
+		for _, r := range m.Rows() {
+			nr := &kcm.Row{ID: r.ID, Node: r.Node, CoKernel: r.CoKernel}
+			for _, e := range r.Entries {
+				e.Col = o.LocalToGlobal[p][e.Col]
+				nr.Entries = append(nr.Entries, e)
+			}
+			l.M.AddRow(nr)
+			l.OwnRows[r.ID] = true
+		}
+	}
+	// Vertical legs: processor i ships B_ij (its rows restricted to
+	// columns owned by j) to processor j.
+	for i, m := range mats {
+		for j := range mats {
+			if i == j {
+				continue
+			}
+			l := out[j]
+			for _, r := range m.Rows() {
+				var entries []kcm.Entry
+				for _, e := range r.Entries {
+					gid := o.LocalToGlobal[i][e.Col]
+					if l.Owned[gid] {
+						e.Col = gid
+						entries = append(entries, e)
+					}
+				}
+				if len(entries) == 0 {
+					continue
+				}
+				nr := &kcm.Row{ID: r.ID, Node: r.Node, CoKernel: r.CoKernel, Entries: entries}
+				// Intern the owned columns (they exist in j's
+				// matrix already if j had the cube; otherwise
+				// they are new to j).
+				for _, e := range entries {
+					cube := cubeOfGlobal(mats, o, e.Col)
+					l.M.InternColumn(cube, e.Col)
+				}
+				l.M.AddRow(nr)
+				stats.Words[i][j] += len(entries)
+			}
+		}
+	}
+	for _, l := range out {
+		l.M.SortColRows()
+	}
+	return out, stats
+}
+
+// cubeOfGlobal finds the cube a global column label stands for by
+// asking its owning processor's matrix.
+func cubeOfGlobal(mats []*kcm.Matrix, o *Ownership, gid int64) sop.Cube {
+	// The owner's local label equals the global label.
+	owner := int(gid / kcm.Stride)
+	if owner < len(mats) {
+		if c := mats[owner].Col(gid); c != nil {
+			return c.Cube
+		}
+	}
+	// Fallback: scan all matrices.
+	for p, m := range mats {
+		for l, g := range o.LocalToGlobal[p] {
+			if g == gid {
+				if c := m.Col(l); c != nil {
+					return c.Cube
+				}
+			}
+		}
+	}
+	return nil
+}

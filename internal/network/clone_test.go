@@ -1,0 +1,46 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/sop"
+)
+
+func TestCloneDetachedPreservesVarIdentities(t *testing.T) {
+	nw := PaperExample()
+	cp := nw.CloneDetached()
+	for _, name := range []string{"a", "g", "F", "H"} {
+		v1, ok1 := nw.Names.Lookup(name)
+		v2, ok2 := cp.Names.Lookup(name)
+		if !ok1 || !ok2 || v1 != v2 {
+			t.Fatalf("%s: vars differ (%d,%v vs %d,%v)", name, v1, ok1, v2, ok2)
+		}
+	}
+	F, _ := cp.Names.Lookup("F")
+	if !cp.Node(F).Fn.Equal(nw.Node(F).Fn) {
+		t.Fatal("function not copied")
+	}
+	// Mutating the copy's function must not affect the original.
+	cp.SetFn(F, sop.Zero())
+	if nw.Node(F).Fn.IsZero() {
+		t.Fatal("clone shares function storage")
+	}
+}
+
+func TestEvalMissingOutput(t *testing.T) {
+	nw := New("bad")
+	nw.AddOutput("ghost")
+	if _, err := nw.EvalOutputs(nil); err == nil {
+		t.Fatal("undriven output must fail evaluation")
+	}
+}
+
+func TestLiteralsEmptyNetwork(t *testing.T) {
+	nw := New("empty")
+	if nw.Literals() != 0 || nw.NumNodes() != 0 {
+		t.Fatal("empty network must have zero LC")
+	}
+	if _, err := nw.TopoSort(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/sop"
+)
+
+// Eval computes the value of every node and output under the given
+// primary-input assignment. Missing inputs default to false. The
+// returned map contains values for inputs and all internal nodes.
+//
+// Evaluation is the semantic ground truth used by the equivalence
+// checker to prove that factorization rewrites preserve the functions.
+func (nw *Network) Eval(inputs map[sop.Var]bool) (map[sop.Var]bool, error) {
+	order, err := nw.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	val := make(map[sop.Var]bool, len(order)+len(nw.inputs))
+	for _, v := range nw.inputs {
+		val[v] = inputs[v]
+	}
+	for _, v := range order {
+		val[v] = evalExpr(nw.nodes[v].Fn, val)
+	}
+	return val, nil
+}
+
+// EvalOutputs evaluates the network and returns just the output values
+// in output-declaration order.
+func (nw *Network) EvalOutputs(inputs map[sop.Var]bool) ([]bool, error) {
+	val, err := nw.Eval(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(nw.outputs))
+	for i, v := range nw.outputs {
+		b, ok := val[v]
+		if !ok {
+			return nil, fmt.Errorf("network: %s: output %s has no value",
+				nw.Name, nw.Names.Name(v))
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+func evalExpr(f sop.Expr, val map[sop.Var]bool) bool {
+	for _, c := range f.Cubes() {
+		sat := true
+		for _, l := range c {
+			v := val[l.Var()]
+			if l.IsNeg() {
+				v = !v
+			}
+			if !v {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			return true
+		}
+	}
+	return false
+}

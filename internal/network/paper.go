@@ -1,0 +1,29 @@
+package network
+
+import "repro/internal/sop"
+
+// PaperExample builds the network N = {F, G, H} of the paper's
+// Example 1.1:
+//
+//	F = af + bf + ag + cg + ade + bde + cde
+//	G = af + bf + ace + bce
+//	H = ade + cde
+//
+// with primary inputs a..g and outputs F, G, H (33 literals). Every
+// worked example in the paper (Figures 2–4, Examples 4.1, 5.1, 5.2)
+// is stated on this network, so tests and the paperexample program
+// reproduce them from here.
+func PaperExample() *Network {
+	nw := New("eq1")
+	for _, in := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		nw.AddInput(in)
+	}
+	mk := func(s string) sop.Expr { return sop.MustParseExpr(nw.Names, s) }
+	nw.MustAddNode("F", mk("a*f + b*f + a*g + c*g + a*d*e + b*d*e + c*d*e"))
+	nw.MustAddNode("G", mk("a*f + b*f + a*c*e + b*c*e"))
+	nw.MustAddNode("H", mk("a*d*e + c*d*e"))
+	nw.AddOutput("F")
+	nw.AddOutput("G")
+	nw.AddOutput("H")
+	return nw
+}

@@ -1,0 +1,277 @@
+package partition
+
+import "sort"
+
+// Options tunes the FM bisection.
+type Options struct {
+	// Epsilon is the allowed relative imbalance of a bisection
+	// (default 0.1): the left side's weight may deviate from its
+	// target by ±Epsilon·total.
+	Epsilon float64
+	// MaxPasses caps FM improvement passes per bisection
+	// (default 8). Each pass is a full tentative move sequence.
+	MaxPasses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 8
+	}
+	return o
+}
+
+// Bisect splits g's vertices into sides 0 and 1, with side 0 holding
+// approximately frac of the total vertex weight. It returns the side
+// assignment and the resulting cut size.
+func (g *Graph) Bisect(frac float64, opt Options) ([]int, int) {
+	opt = opt.withDefaults()
+	n := len(g.Verts)
+	assign := make([]int, n)
+	if n == 0 {
+		return assign, 0
+	}
+	total := g.TotalWeight()
+	target := int(float64(total) * frac)
+	tol := int(opt.Epsilon * float64(total))
+	if tol < maxVertexW(g) {
+		tol = maxVertexW(g) // always allow moving the heaviest vertex
+	}
+
+	// Initial assignment: BFS-grow side 0 from vertex 0 up to the
+	// target weight, so connected regions start together.
+	leftW := bfsSeed(g, assign, target)
+
+	f := &fm{g: g, assign: assign, leftW: leftW, target: target, tol: tol}
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		if improved := f.pass(); !improved {
+			break
+		}
+	}
+	return assign, g.CutSize(assign)
+}
+
+func maxVertexW(g *Graph) int {
+	m := 1
+	for _, w := range g.W {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// bfsSeed fills side 0 to the target weight by breadth-first growth,
+// returning side 0's weight. Unvisited vertices stay on side 1.
+func bfsSeed(g *Graph, assign []int, target int) int {
+	n := len(g.Verts)
+	for i := range assign {
+		assign[i] = 1
+	}
+	visited := make([]bool, n)
+	leftW := 0
+	for start := 0; start < n && leftW < target; start++ {
+		if visited[start] {
+			continue
+		}
+		queue := []int{start}
+		visited[start] = true
+		for len(queue) > 0 && leftW < target {
+			v := queue[0]
+			queue = queue[1:]
+			assign[v] = 0
+			leftW += g.W[v]
+			for _, e := range g.Adj[v] {
+				if !visited[e.To] {
+					visited[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	return leftW
+}
+
+// fm carries one bisection's FM state.
+type fm struct {
+	g      *Graph
+	assign []int
+	leftW  int
+	target int
+	tol    int
+}
+
+// pass runs one FM pass: tentatively move every vertex once in
+// max-gain order (respecting balance), then keep the best prefix.
+// It reports whether the cut improved.
+func (f *fm) pass() bool {
+	g := f.g
+	n := len(g.Verts)
+	gain := make([]int, n)
+	locked := make([]bool, n)
+	for v := 0; v < n; v++ {
+		gain[v] = f.moveGain(v)
+	}
+	b := newBuckets(n, gain)
+
+	type move struct {
+		v     int
+		delta int
+	}
+	var moves []move
+	cum, bestCum, bestIdx := 0, 0, -1
+	leftW := f.leftW
+
+	for moved := 0; moved < n; moved++ {
+		v := b.popBest(func(v int) bool {
+			// Balance check for moving v to the other side.
+			nl := leftW
+			if f.assign[v] == 0 {
+				nl -= g.W[v]
+			} else {
+				nl += g.W[v]
+			}
+			return abs(nl-f.target) <= f.tol
+		})
+		if v < 0 {
+			break
+		}
+		locked[v] = true
+		delta := gain[v]
+		cum += delta
+		if f.assign[v] == 0 {
+			leftW -= g.W[v]
+		} else {
+			leftW += g.W[v]
+		}
+		f.assign[v] = 1 - f.assign[v]
+		moves = append(moves, move{v, delta})
+		if cum > bestCum {
+			bestCum = cum
+			bestIdx = len(moves) - 1
+		}
+		// Update neighbour gains.
+		for _, e := range g.Adj[v] {
+			u := e.To
+			if locked[u] {
+				continue
+			}
+			old := gain[u]
+			gain[u] = f.moveGain(u)
+			if gain[u] != old {
+				b.update(u, old, gain[u])
+			}
+		}
+	}
+
+	// Revert moves beyond the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		v := moves[i].v
+		if f.assign[v] == 0 {
+			leftW -= g.W[v]
+		} else {
+			leftW += g.W[v]
+		}
+		f.assign[v] = 1 - f.assign[v]
+	}
+	f.leftW = leftW
+	return bestCum > 0
+}
+
+// moveGain is the cut reduction from moving v to the other side:
+// external edge weight minus internal edge weight.
+func (f *fm) moveGain(v int) int {
+	gn := 0
+	for _, e := range f.g.Adj[v] {
+		if f.assign[e.To] == f.assign[v] {
+			gn -= e.W
+		} else {
+			gn += e.W
+		}
+	}
+	return gn
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// buckets is the classical FM gain-bucket structure: vertices hashed
+// by gain with a moving max pointer. Gains are bounded by total
+// adjacent edge weight, so the bucket array stays small.
+type buckets struct {
+	byGain  map[int]map[int]bool
+	gainsOf []int
+	maxGain int
+	present int
+}
+
+func newBuckets(n int, gain []int) *buckets {
+	b := &buckets{byGain: map[int]map[int]bool{}, gainsOf: make([]int, n), maxGain: -1 << 30}
+	for v := 0; v < n; v++ {
+		b.insert(v, gain[v])
+	}
+	return b
+}
+
+func (b *buckets) insert(v, g int) {
+	m := b.byGain[g]
+	if m == nil {
+		m = map[int]bool{}
+		b.byGain[g] = m
+	}
+	m[v] = true
+	b.gainsOf[v] = g
+	if g > b.maxGain {
+		b.maxGain = g
+	}
+	b.present++
+}
+
+func (b *buckets) remove(v, g int) {
+	if m := b.byGain[g]; m != nil && m[v] {
+		delete(m, v)
+		b.present--
+	}
+}
+
+func (b *buckets) update(v, oldG, newG int) {
+	b.remove(v, oldG)
+	b.insert(v, newG)
+}
+
+// popBest removes and returns the highest-gain vertex accepted by ok,
+// or -1 when none qualifies. Ties break on the smallest vertex index
+// for determinism.
+func (b *buckets) popBest(ok func(v int) bool) int {
+	if b.present == 0 {
+		return -1
+	}
+	gains := make([]int, 0, len(b.byGain))
+	for g, m := range b.byGain {
+		if len(m) > 0 {
+			gains = append(gains, g)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(gains)))
+	for _, g := range gains {
+		m := b.byGain[g]
+		verts := make([]int, 0, len(m))
+		for v := range m {
+			verts = append(verts, v)
+		}
+		sort.Ints(verts)
+		for _, v := range verts {
+			if ok(v) {
+				b.remove(v, g)
+				return v
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,229 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+// clusteredNetwork builds nc clusters of size cs with dense
+// intra-cluster edges and a single chain of inter-cluster links, so
+// the min cut is obvious.
+func clusteredNetwork(nc, cs int) *network.Network {
+	nw := network.New("clusters")
+	for i := 0; i < nc*cs; i++ {
+		nw.AddInput(fmt.Sprintf("i%d", i))
+	}
+	name := func(c, j int) string { return fmt.Sprintf("n_%d_%d", c, j) }
+	for c := 0; c < nc; c++ {
+		for j := 0; j < cs; j++ {
+			var cubes []sop.Cube
+			// Read the cluster's previous nodes (dense inside).
+			for p := 0; p < j; p++ {
+				v, _ := nw.Names.Lookup(name(c, p))
+				cubes = append(cubes, sop.Cube{sop.Pos(v)})
+			}
+			// Plus an input so every node is driven.
+			in, _ := nw.Names.Lookup(fmt.Sprintf("i%d", c*cs+j))
+			cubes = append(cubes, sop.Cube{sop.Pos(in)})
+			// One weak link to the previous cluster.
+			if j == 0 && c > 0 {
+				v, _ := nw.Names.Lookup(name(c-1, 0))
+				cubes = append(cubes, sop.Cube{sop.Pos(v)})
+			}
+			nw.MustAddNode(name(c, j), sop.NewExpr(cubes...))
+		}
+	}
+	nw.AddOutput(name(nc-1, cs-1))
+	return nw
+}
+
+func TestFromNetworkGraphShape(t *testing.T) {
+	nw := network.PaperExample()
+	g := FromNetwork(nw, nil)
+	if len(g.Verts) != 3 {
+		t.Fatalf("verts = %d want 3", len(g.Verts))
+	}
+	// F, G, H share no fanin-fanout relations among themselves
+	// (all fanins are primary inputs), so no edges.
+	for i, adj := range g.Adj {
+		if len(adj) != 0 {
+			t.Fatalf("vertex %d has unexpected edges %v", i, adj)
+		}
+	}
+	if g.TotalWeight() != 33 {
+		t.Fatalf("total weight %d want 33 (LC)", g.TotalWeight())
+	}
+}
+
+func TestFromNetworkEdges(t *testing.T) {
+	nw := network.New("chain")
+	a := nw.AddInput("a")
+	x := nw.MustAddNode("x", sop.NewExpr(sop.Cube{sop.Pos(a)}))
+	y := nw.MustAddNode("y", sop.MustParseExpr(nw.Names, "x + a"))
+	_ = x
+	_ = y
+	nw.MustAddNode("z", sop.MustParseExpr(nw.Names, "x*y"))
+	g := FromNetwork(nw, nil)
+	edges := 0
+	for i, adj := range g.Adj {
+		for _, e := range adj {
+			if e.To > i {
+				edges++
+			}
+		}
+	}
+	// x-y, x-z, y-z.
+	if edges != 3 {
+		t.Fatalf("edges = %d want 3", edges)
+	}
+}
+
+func TestBisectFindsClusterCut(t *testing.T) {
+	nw := clusteredNetwork(2, 8)
+	g := FromNetwork(nw, nil)
+	assign, cut := g.Bisect(0.5, Options{})
+	if cut > 2 {
+		t.Fatalf("cut = %d want <= 2 (single weak link)", cut)
+	}
+	// Each side should hold one cluster (8 vertices).
+	count := 0
+	for _, s := range assign {
+		if s == 0 {
+			count++
+		}
+	}
+	if count < 4 || count > 12 {
+		t.Fatalf("unbalanced bisection: %d of %d on side 0", count, len(assign))
+	}
+}
+
+func TestBisectBalance(t *testing.T) {
+	nw := clusteredNetwork(4, 6)
+	g := FromNetwork(nw, nil)
+	assign, _ := g.Bisect(0.5, Options{Epsilon: 0.15})
+	total := g.TotalWeight()
+	leftW := 0
+	for i, s := range assign {
+		if s == 0 {
+			leftW += g.W[i]
+		}
+	}
+	dev := float64(leftW)/float64(total) - 0.5
+	if dev < -0.3 || dev > 0.3 {
+		t.Fatalf("left fraction %f too far from 0.5", 0.5+dev)
+	}
+}
+
+func TestBisectEmptyAndSingle(t *testing.T) {
+	g := &Graph{}
+	assign, cut := g.Bisect(0.5, Options{})
+	if len(assign) != 0 || cut != 0 {
+		t.Fatal("empty graph must bisect trivially")
+	}
+	nw := network.New("one")
+	a := nw.AddInput("a")
+	nw.MustAddNode("x", sop.NewExpr(sop.Cube{sop.Pos(a)}))
+	g = FromNetwork(nw, nil)
+	assign, cut = g.Bisect(0.5, Options{})
+	if len(assign) != 1 || cut != 0 {
+		t.Fatal("single vertex graph must bisect trivially")
+	}
+}
+
+func TestKWayPartitionCovers(t *testing.T) {
+	nw := clusteredNetwork(6, 5)
+	for _, k := range []int{1, 2, 3, 4, 6} {
+		parts := KWay(nw, nil, k, Options{})
+		if len(parts) != k {
+			t.Fatalf("k=%d: got %d parts", k, len(parts))
+		}
+		seen := map[sop.Var]bool{}
+		total := 0
+		for _, p := range parts {
+			for _, v := range p {
+				if seen[v] {
+					t.Fatalf("k=%d: node %v in two parts", k, v)
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		if total != nw.NumNodes() {
+			t.Fatalf("k=%d: parts cover %d of %d nodes", k, total, nw.NumNodes())
+		}
+	}
+}
+
+func TestKWayCutGrowsWithK(t *testing.T) {
+	nw := clusteredNetwork(6, 5)
+	cut2 := KWayCut(nw, KWay(nw, nil, 2, Options{}))
+	cut6 := KWayCut(nw, KWay(nw, nil, 6, Options{}))
+	if cut6 < cut2 {
+		t.Fatalf("cut(6)=%d < cut(2)=%d", cut6, cut2)
+	}
+	// The 6-cluster network splits 6 ways along weak links only.
+	if cut6 > 6 {
+		t.Fatalf("cut(6)=%d want <= 6", cut6)
+	}
+}
+
+func TestKWayMoreThanNodes(t *testing.T) {
+	nw := network.PaperExample() // 3 nodes
+	parts := KWay(nw, nil, 6, Options{})
+	if len(parts) != 6 {
+		t.Fatalf("got %d parts want 6 (some empty)", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 3 {
+		t.Fatalf("parts cover %d nodes want 3", total)
+	}
+}
+
+func TestCutSizeManual(t *testing.T) {
+	nw := network.New("pair")
+	a := nw.AddInput("a")
+	x := nw.MustAddNode("x", sop.NewExpr(sop.Cube{sop.Pos(a)}))
+	_ = x
+	nw.MustAddNode("y", sop.MustParseExpr(nw.Names, "x"))
+	g := FromNetwork(nw, nil)
+	if got := g.CutSize([]int{0, 1}); got != 1 {
+		t.Fatalf("cut = %d want 1", got)
+	}
+	if got := g.CutSize([]int{0, 0}); got != 0 {
+		t.Fatalf("cut = %d want 0", got)
+	}
+}
+
+// Property: bisection never loses or duplicates vertices and the
+// reported cut matches CutSize.
+func TestQuickBisectInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nc := 2 + r.Intn(3)
+		cs := 2 + r.Intn(5)
+		nw := clusteredNetwork(nc, cs)
+		g := FromNetwork(nw, nil)
+		assign, cut := g.Bisect(0.5, Options{})
+		if len(assign) != len(g.Verts) {
+			return false
+		}
+		for _, s := range assign {
+			if s != 0 && s != 1 {
+				return false
+			}
+		}
+		return cut == g.CutSize(assign)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

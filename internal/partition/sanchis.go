@@ -1,0 +1,159 @@
+package partition
+
+import (
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+// KWayDirect partitions g directly into k parts with a multi-way FM
+// variant in the style of Sanchis [paper ref 6]: vertices carry a
+// gain for moving to each other part; passes tentatively apply the
+// best balance-feasible move, lock the vertex, and keep the best
+// prefix. Direct k-way escapes the locality of recursive bisection
+// on graphs whose natural clusters are not power-of-two shaped.
+func (g *Graph) KWayDirect(k int, opt Options) ([]int, int) {
+	opt = opt.withDefaults()
+	n := len(g.Verts)
+	assign := make([]int, n)
+	if n == 0 || k <= 1 {
+		return assign, 0
+	}
+
+	// Seed: BFS-grow parts to equal weight, like bisection's seed.
+	target := g.TotalWeight() / k
+	seedKWay(g, assign, k, target)
+
+	tol := int(opt.Epsilon * float64(g.TotalWeight()) / float64(k))
+	if m := maxVertexW(g); tol < m {
+		tol = m
+	}
+	partW := make([]int, k)
+	for v, p := range assign {
+		partW[p] += g.W[v]
+	}
+
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		if !kwayPass(g, assign, partW, k, target, tol) {
+			break
+		}
+	}
+	return assign, g.CutSize(assign)
+}
+
+func seedKWay(g *Graph, assign []int, k, target int) {
+	n := len(g.Verts)
+	visited := make([]bool, n)
+	part := 0
+	partW := 0
+	var queue []int
+	push := func(v int) {
+		if !visited[v] {
+			visited[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for start := 0; start < n; start++ {
+		push(start)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			assign[v] = part
+			partW += g.W[v]
+			if partW >= target && part < k-1 {
+				part++
+				partW = 0
+			}
+			for _, e := range g.Adj[v] {
+				push(e.To)
+			}
+		}
+	}
+}
+
+// kwayPass runs one locked-move improvement pass; reports whether the
+// cut improved.
+func kwayPass(g *Graph, assign, partW []int, k, target, tol int) bool {
+	n := len(g.Verts)
+	locked := make([]bool, n)
+	type move struct {
+		v, from, to, delta int
+	}
+	var moves []move
+	cum, bestCum, bestIdx := 0, 0, -1
+
+	// conn[v][p] = total edge weight from v into part p.
+	conn := make([][]int, n)
+	for v := 0; v < n; v++ {
+		conn[v] = make([]int, k)
+		for _, e := range g.Adj[v] {
+			conn[v][assign[e.To]] += e.W
+		}
+	}
+
+	for step := 0; step < n; step++ {
+		bestV, bestTo, bestGain := -1, -1, 0
+		first := true
+		for v := 0; v < n; v++ {
+			if locked[v] {
+				continue
+			}
+			from := assign[v]
+			for to := 0; to < k; to++ {
+				if to == from {
+					continue
+				}
+				if partW[to]+g.W[v] > target+tol || partW[from]-g.W[v] < target-tol {
+					continue
+				}
+				gain := conn[v][to] - conn[v][from]
+				if first || gain > bestGain ||
+					(gain == bestGain && (v < bestV || (v == bestV && to < bestTo))) {
+					bestV, bestTo, bestGain = v, to, gain
+					first = false
+				}
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		from := assign[bestV]
+		locked[bestV] = true
+		assign[bestV] = bestTo
+		partW[from] -= g.W[bestV]
+		partW[bestTo] += g.W[bestV]
+		for _, e := range g.Adj[bestV] {
+			conn[e.To][from] -= e.W
+			conn[e.To][bestTo] += e.W
+		}
+		cum += bestGain
+		moves = append(moves, move{bestV, from, bestTo, bestGain})
+		if cum > bestCum {
+			bestCum = cum
+			bestIdx = len(moves) - 1
+		}
+	}
+
+	// Revert beyond the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		m := moves[i]
+		assign[m.v] = m.from
+		partW[m.to] -= g.W[m.v]
+		partW[m.from] += g.W[m.v]
+	}
+	return bestCum > 0
+}
+
+// KWayDirectNodes is the network-level convenience mirroring KWay but
+// using the direct multi-way mover instead of recursive bisection.
+func KWayDirectNodes(nw *network.Network, nodes []sop.Var, k int, opt Options) [][]sop.Var {
+	if nodes == nil {
+		nodes = nw.NodeVars()
+	}
+	g := FromNetwork(nw, nodes)
+	assign, _ := g.KWayDirect(k, opt)
+	out := make([][]sop.Var, k)
+	for i, p := range assign {
+		out[p] = append(out[p], g.Verts[i])
+	}
+	return out
+}

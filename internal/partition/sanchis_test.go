@@ -1,0 +1,101 @@
+package partition
+
+import (
+	"testing"
+)
+
+func TestKWayDirectFindsClusters(t *testing.T) {
+	nw := clusteredNetwork(4, 6)
+	g := FromNetwork(nw, nil)
+	assign, cut := g.KWayDirect(4, Options{})
+	if len(assign) != len(g.Verts) {
+		t.Fatal("assignment size wrong")
+	}
+	for _, p := range assign {
+		if p < 0 || p >= 4 {
+			t.Fatalf("part %d out of range", p)
+		}
+	}
+	if cut != g.CutSize(assign) {
+		t.Fatal("reported cut mismatch")
+	}
+	// Weak links only: 3 inter-cluster edges; allow some slack.
+	if cut > 6 {
+		t.Fatalf("cut = %d want <= 6", cut)
+	}
+}
+
+func TestKWayDirectBalance(t *testing.T) {
+	nw := clusteredNetwork(6, 5)
+	g := FromNetwork(nw, nil)
+	k := 3
+	assign, _ := g.KWayDirect(k, Options{Epsilon: 0.25})
+	partW := make([]int, k)
+	for v, p := range assign {
+		partW[p] += g.W[v]
+	}
+	target := g.TotalWeight() / k
+	for p, w := range partW {
+		if w < target/3 || w > target*2 {
+			t.Fatalf("part %d weight %d far from target %d (%v)", p, w, target, partW)
+		}
+	}
+}
+
+func TestKWayDirectDegenerate(t *testing.T) {
+	g := &Graph{}
+	assign, cut := g.KWayDirect(4, Options{})
+	if len(assign) != 0 || cut != 0 {
+		t.Fatal("empty graph")
+	}
+	nw := clusteredNetwork(1, 3)
+	g = FromNetwork(nw, nil)
+	assign, cut = g.KWayDirect(1, Options{})
+	for _, p := range assign {
+		if p != 0 {
+			t.Fatal("k=1 must keep everything in part 0")
+		}
+	}
+	if cut != 0 {
+		t.Fatal("k=1 cut must be 0")
+	}
+}
+
+func TestKWayDirectNodes(t *testing.T) {
+	nw := clusteredNetwork(4, 6)
+	parts := KWayDirectNodes(nw, nil, 4, Options{})
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != nw.NumNodes() {
+		t.Fatalf("parts cover %d of %d", total, nw.NumNodes())
+	}
+}
+
+func TestDirectVsRecursiveCut(t *testing.T) {
+	// On a 3-cluster graph, 3-way direct should be at least
+	// competitive with recursive bisection (which must split 3
+	// clusters into 1+2 first).
+	nw := clusteredNetwork(3, 8)
+	g := FromNetwork(nw, nil)
+	_, direct := g.KWayDirect(3, Options{})
+	idx := make([]int, len(g.Verts))
+	for i := range idx {
+		idx[i] = i
+	}
+	parts := kwayIdx(g, idx, 3, Options{})
+	assign := make([]int, len(g.Verts))
+	for p, vs := range parts {
+		for _, v := range vs {
+			assign[v] = p
+		}
+	}
+	recursive := g.CutSize(assign)
+	if direct > recursive+2 {
+		t.Fatalf("direct cut %d much worse than recursive %d", direct, recursive)
+	}
+}

@@ -1,0 +1,102 @@
+package rect
+
+import (
+	"sort"
+
+	"repro/internal/kcm"
+)
+
+// BestK returns up to k rectangles harvested from a single search
+// enumeration, mutually disjoint in the function cubes they cover and
+// ordered by the same deterministic ranking as Best. Batching
+// amortizes the enumeration cost over several extractions per greedy
+// cover round; k=1 degenerates to Best. The gains of later
+// rectangles remain valid when the earlier ones are applied first
+// because the cube sets do not overlap.
+func BestK(m *kcm.Matrix, cfg Config, val Valuer, k int) ([]Rect, Stats) {
+	if k <= 1 {
+		best, stats := Best(m, cfg, val)
+		if best.Rows == nil {
+			return nil, stats
+		}
+		return []Rect{best}, stats
+	}
+	s := &searcher{m: m, cfg: withDefaults(cfg), val: val, topCap: 8 * k}
+	roots := cfg.LeftmostCols
+	if roots == nil {
+		roots = m.SortedColIDs()
+	} else {
+		roots = append([]int64(nil), roots...)
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	}
+	all := m.SortedColIDs()
+	for _, c0 := range roots {
+		col := m.Col(c0)
+		if col == nil || len(col.RowIDs) == 0 {
+			continue
+		}
+		if s.colValue(c0, col.RowIDs) == 0 {
+			continue // zero-value dominance prune, as in Best
+		}
+		s.recurse([]int64{c0}, col.RowIDs, all)
+		if s.stats.Truncated {
+			break
+		}
+	}
+	// Greedy disjoint selection in rank order.
+	var out []Rect
+	used := map[int64]bool{}
+	for _, cand := range s.top {
+		if len(out) >= k {
+			break
+		}
+		ids := coveredCubeIDs(m, cand)
+		overlap := false
+		for _, id := range ids {
+			if used[id] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		for _, id := range ids {
+			used[id] = true
+		}
+		out = append(out, cand)
+	}
+	return out, s.stats
+}
+
+// coveredCubeIDs lists the distinct function cubes rectangle r covers.
+func coveredCubeIDs(m *kcm.Matrix, r Rect) []int64 {
+	var ids []int64
+	seen := map[int64]bool{}
+	for _, rid := range r.Rows {
+		row := m.Row(rid)
+		for _, c := range r.Cols {
+			if e, ok := row.Entry(c); ok && !seen[e.CubeID] {
+				seen[e.CubeID] = true
+				ids = append(ids, e.CubeID)
+			}
+		}
+	}
+	return ids
+}
+
+// recordTop inserts cand into the searcher's bounded candidate list,
+// keeping it ordered by the deterministic rectangle ranking.
+func (s *searcher) recordTop(cand Rect) {
+	n := len(s.top)
+	if n == s.topCap && CompareRects(cand, s.top[n-1]) >= 0 {
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return CompareRects(cand, s.top[i]) < 0 })
+	s.top = append(s.top, Rect{})
+	copy(s.top[i+1:], s.top[i:])
+	s.top[i] = cand
+	if len(s.top) > s.topCap {
+		s.top = s.top[:s.topCap]
+	}
+}

@@ -1,0 +1,103 @@
+package rect
+
+import (
+	"testing"
+
+	"repro/internal/kcm"
+	"repro/internal/kernels"
+	"repro/internal/network"
+)
+
+func TestBestKOneEqualsBest(t *testing.T) {
+	_, m := paperMatrix(t)
+	best, _ := Best(m, Config{}, WeightValuer)
+	batch, _ := BestK(m, Config{}, WeightValuer, 1)
+	if len(batch) != 1 || CompareRects(batch[0], best) != 0 {
+		t.Fatalf("BestK(1) = %+v, Best = %+v", batch, best)
+	}
+}
+
+func TestBestKDisjointAndOrdered(t *testing.T) {
+	_, m := paperMatrix(t)
+	batch, _ := BestK(m, Config{}, WeightValuer, 8)
+	if len(batch) == 0 {
+		t.Fatal("no rectangles")
+	}
+	// Ordered by rank.
+	for i := 1; i < len(batch); i++ {
+		if CompareRects(batch[i-1], batch[i]) > 0 {
+			t.Fatalf("batch out of order at %d", i)
+		}
+	}
+	// Pairwise cube-disjoint.
+	used := map[int64]bool{}
+	for _, r := range batch {
+		for _, id := range coveredCubeIDs(m, r) {
+			if used[id] {
+				t.Fatalf("cube %d covered twice in batch", id)
+			}
+			used[id] = true
+		}
+	}
+	// First element is the global best.
+	best, _ := Best(m, Config{}, WeightValuer)
+	if CompareRects(batch[0], best) != 0 {
+		t.Fatal("batch[0] must equal Best")
+	}
+}
+
+func TestBestKEmptyWhenNothingProfitable(t *testing.T) {
+	nw := network.New("flat")
+	nw.AddInput("a")
+	nw.AddInput("b")
+	nw.MustAddNode("x", mustExpr(nw, "a*b"))
+	m := kcm.Build(nw, nw.NodeVars(), kernels.Options{})
+	batch, _ := BestK(m, Config{}, WeightValuer, 4)
+	if batch != nil {
+		t.Fatalf("got %v from kernel-free matrix", batch)
+	}
+}
+
+func TestBestKRespectsCoveredValues(t *testing.T) {
+	// Covering everything makes BestK empty — and thanks to the
+	// zero-value dominance prune, nearly free.
+	_, m := paperMatrix(t)
+	covered := map[int64]bool{}
+	for _, r := range m.Rows() {
+		for _, e := range r.Entries {
+			covered[e.CubeID] = true
+		}
+	}
+	batch, stats := BestK(m, Config{}, CoveredValuer(covered), 8)
+	if batch != nil {
+		t.Fatalf("found %v in fully covered matrix", batch)
+	}
+	if stats.Visits != 0 {
+		t.Fatalf("prune failed: %d visits on a fully covered matrix", stats.Visits)
+	}
+}
+
+func TestZeroValuePruneKeepsBest(t *testing.T) {
+	// Cover only G's cubes; the best rectangle over the rest must
+	// equal the best found without pruning shortcuts (the prune is
+	// a pure dominance argument).
+	nw, m := paperMatrix(t)
+	G, _ := nw.Names.Lookup("G")
+	covered := map[int64]bool{}
+	for _, r := range m.Rows() {
+		if r.Node == G {
+			for _, e := range r.Entries {
+				covered[e.CubeID] = true
+			}
+		}
+	}
+	best, _ := Best(m, Config{}, CoveredValuer(covered))
+	if best.Rows == nil {
+		t.Fatal("expected a rectangle on F/H rows")
+	}
+	for _, rid := range best.Rows {
+		if m.Row(rid).Node == G {
+			t.Fatal("best uses a fully covered row")
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package rect implements the rectangle machinery of the
+// minimum-weighted rectangle covering formulation [Brayton et al.,
+// ICCAD 1987] that kernel extraction reduces to (paper §2): a
+// rectangle (R,C) of the KC matrix selects a kernel (the sum of the
+// column cubes) and the rows whose nodes profit from extracting it.
+//
+// The search enumerates the tree of Figure 1: a depth-first traversal
+// over column sets in increasing label order, so that restricting the
+// root (leftmost) column partitions the whole search space across
+// processors — exactly the paper's divide-and-conquer decomposition.
+package rect
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/kcm"
+)
+
+// Rect is a rectangle of the KC matrix together with its evaluated
+// gain (net literal savings if extracted).
+type Rect struct {
+	// Rows are the participating row ids (each row's node profits).
+	Rows []int64
+	// Cols are the column ids; the extracted kernel is the sum of
+	// their cubes.
+	Cols []int64
+	// Gain is the estimated literal savings: covered cube literals
+	// minus the rewritten rows' new cubes minus the new node.
+	Gain int
+}
+
+// Valuer returns the literal value a searching processor may claim
+// for the function cube behind an entry. The sequential algorithm
+// returns e.Weight for uncovered cubes and 0 for covered ones; the
+// L-shaped algorithm consults the cube state machine (§5.3).
+type Valuer func(e kcm.Entry) int
+
+// WeightValuer values every cube at its literal count (nothing
+// covered yet).
+func WeightValuer(e kcm.Entry) int { return e.Weight }
+
+// CoveredValuer values cubes at their weight unless their id is in
+// covered.
+func CoveredValuer(covered map[int64]bool) Valuer {
+	return func(e kcm.Entry) int {
+		if covered[e.CubeID] {
+			return 0
+		}
+		return e.Weight
+	}
+}
+
+// Config bounds the branch-and-bound enumeration.
+type Config struct {
+	// MaxCols caps the number of columns per rectangle (search
+	// depth). 0 means the package default (8).
+	MaxCols int
+	// MaxVisits caps the number of search-tree nodes expanded. 0
+	// means the package default (1 << 20). The cap keeps worst-case
+	// inputs tractable; the searcher reports whether it was hit.
+	MaxVisits int
+	// LeftmostCols restricts root columns to this set — the §3
+	// decomposition. nil means all columns.
+	LeftmostCols []int64
+	// MinRows is the minimum number of participating rows. The
+	// default (0) means 2: kernel extraction looks for *common*
+	// subexpressions, so a kernel must be used at least twice.
+	// Set to 1 to also allow single-use factoring rectangles.
+	MinRows int
+	// OnBest, when non-nil, fires every time the incumbent best
+	// rectangle is replaced during the search. The L-shaped
+	// algorithm uses it to speculatively cover the incumbent's
+	// cubes in the shared state table (§5.3).
+	OnBest func(prev, next Rect)
+}
+
+const (
+	defaultMaxCols   = 8
+	defaultMaxVisits = 1 << 20
+)
+
+// Stats reports search effort, consumed by the virtual-time model.
+type Stats struct {
+	// Visits is the number of search-tree nodes expanded.
+	Visits int
+	// Evals is the number of rectangles whose gain was computed.
+	Evals int
+	// Truncated reports whether MaxVisits stopped the search early.
+	Truncated bool
+}
+
+// Best returns the maximum-gain rectangle of m under val, or a
+// zero-gain Rect with nil Rows when no rectangle has positive gain.
+// Ties break deterministically (smallest column list, then smallest
+// row list), so any partition of root columns across workers
+// recombines to the same winner the sequential search finds.
+func Best(m *kcm.Matrix, cfg Config, val Valuer) (Rect, Stats) {
+	s := &searcher{m: m, cfg: withDefaults(cfg), val: val}
+	roots := cfg.LeftmostCols
+	if roots == nil {
+		roots = m.SortedColIDs()
+	} else {
+		roots = append([]int64(nil), roots...)
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	}
+	all := m.SortedColIDs()
+	for _, c0 := range roots {
+		col := m.Col(c0)
+		if col == nil || len(col.RowIDs) == 0 {
+			continue
+		}
+		if s.colValue(c0, col.RowIDs) == 0 {
+			// Dominance prune: a rectangle containing a column
+			// whose entries are all worth zero in its row set is
+			// dominated by the same rectangle without that
+			// column (more rows, same value, cheaper kernel), so
+			// no best rectangle starts here.
+			continue
+		}
+		s.recurse([]int64{c0}, col.RowIDs, all)
+		if s.stats.Truncated {
+			break
+		}
+	}
+	return s.best, s.stats
+}
+
+// colValue sums the claimable values of column c's entries within the
+// given rows.
+func (s *searcher) colValue(c int64, rows []int64) int {
+	total := 0
+	for _, rid := range rows {
+		if e, ok := s.m.Row(rid).Entry(c); ok {
+			total += s.val(e)
+		}
+	}
+	return total
+}
+
+func withDefaults(cfg Config) Config {
+	if cfg.MaxCols == 0 {
+		cfg.MaxCols = defaultMaxCols
+	}
+	if cfg.MaxVisits == 0 {
+		cfg.MaxVisits = defaultMaxVisits
+	}
+	if cfg.MinRows == 0 {
+		cfg.MinRows = 2
+	}
+	return cfg
+}
+
+type searcher struct {
+	m     *kcm.Matrix
+	cfg   Config
+	val   Valuer
+	best  Rect
+	stats Stats
+	// top collects ranked candidates when BestK batching is in
+	// effect (topCap > 0).
+	top    []Rect
+	topCap int
+}
+
+func (s *searcher) recurse(cols []int64, rows []int64, all []int64) {
+	s.stats.Visits++
+	if s.stats.Visits > s.cfg.MaxVisits {
+		s.stats.Truncated = true
+		return
+	}
+	if len(cols) >= 2 {
+		s.evaluate(cols, rows)
+	}
+	if len(cols) >= s.cfg.MaxCols {
+		return
+	}
+	last := cols[len(cols)-1]
+	// Candidate extensions: columns beyond last present in >= 1 of
+	// the current rows, carrying non-zero claimable value (the
+	// zero-value dominance prune — see Best).
+	cand := map[int64]int{}
+	for _, rid := range rows {
+		r := s.m.Row(rid)
+		for _, e := range r.Entries {
+			if e.Col > last {
+				cand[e.Col] += s.val(e)
+			}
+		}
+	}
+	// Walk candidates in increasing label order for determinism.
+	for _, c := range all {
+		if c <= last || cand[c] <= 0 {
+			continue
+		}
+		var sub []int64
+		for _, rid := range rows {
+			if _, ok := s.m.Row(rid).Entry(c); ok {
+				sub = append(sub, rid)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		s.recurse(append(cols, c), sub, all)
+		if s.stats.Truncated {
+			return
+		}
+	}
+}
+
+// evaluate computes the gain of the rectangle spanned by cols and the
+// profitable subset of rows, updating best.
+//
+// Gain model (paper §2, validated against Examples 1.1 and 5.2): each
+// row i rewrites its covered cubes into the single cube
+// cokernel_i·X, so contributes Σ_j value(e_ij) − (|cokernel_i|+1);
+// the new node X costs Σ_j |cube_j| literals. A cube claimed twice
+// within one rectangle is counted once.
+func (s *searcher) evaluate(cols []int64, rows []int64) {
+	s.stats.Evals++
+	newNodeCost := 0
+	for _, c := range cols {
+		newNodeCost += s.m.Col(c).Cube.Weight()
+	}
+	var keep []int64
+	total := 0
+	var seen map[int64]bool
+	for _, rid := range rows {
+		r := s.m.Row(rid)
+		rowVal := 0
+		for _, c := range cols {
+			e, ok := r.Entry(c)
+			if !ok {
+				rowVal = math.MinInt32
+				break
+			}
+			if seen[e.CubeID] {
+				continue
+			}
+			v := s.val(e)
+			if v > 0 {
+				if seen == nil {
+					seen = map[int64]bool{}
+				}
+				seen[e.CubeID] = true
+			}
+			rowVal += v
+		}
+		contrib := rowVal - (r.CoKernel.Weight() + 1)
+		if contrib > 0 {
+			keep = append(keep, rid)
+			total += contrib
+		}
+	}
+	gain := total - newNodeCost
+	if len(keep) < s.cfg.MinRows || gain <= 0 {
+		return
+	}
+	cand := Rect{Rows: keep, Cols: append([]int64(nil), cols...), Gain: gain}
+	if s.topCap > 0 {
+		s.recordTop(cand)
+	}
+	if s.better(cand) {
+		if s.cfg.OnBest != nil {
+			s.cfg.OnBest(s.best, cand)
+		}
+		s.best = cand
+	}
+}
+
+// better reports whether cand should replace the current best, with a
+// total deterministic order.
+func (s *searcher) better(cand Rect) bool {
+	cur := s.best
+	if cur.Rows == nil {
+		return true
+	}
+	if cand.Gain != cur.Gain {
+		return cand.Gain > cur.Gain
+	}
+	if d := compareIDs(cand.Cols, cur.Cols); d != 0 {
+		return d < 0
+	}
+	return compareIDs(cand.Rows, cur.Rows) < 0
+}
+
+// CompareRects orders rectangles by descending gain with the same
+// deterministic tie-break as the searcher; parallel workers use it to
+// reduce their local winners to the global one.
+func CompareRects(a, b Rect) int {
+	switch {
+	case a.Rows == nil && b.Rows == nil:
+		return 0
+	case a.Rows == nil:
+		return 1
+	case b.Rows == nil:
+		return -1
+	}
+	if a.Gain != b.Gain {
+		if a.Gain > b.Gain {
+			return -1
+		}
+		return 1
+	}
+	if d := compareIDs(a.Cols, b.Cols); d != 0 {
+		return d
+	}
+	return compareIDs(a.Rows, b.Rows)
+}
+
+func compareIDs(a, b []int64) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// SplitColumns deals the sorted column ids of m round-robin-by-block
+// into p contiguous slices, Figure 1's "processor 1 gets the
+// rectangles whose leftmost columns are in the left third" split.
+func SplitColumns(m *kcm.Matrix, p int) [][]int64 {
+	ids := m.SortedColIDs()
+	out := make([][]int64, p)
+	n := len(ids)
+	for i := 0; i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		out[i] = ids[lo:hi]
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package script
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+// Resubstitute performs algebraic resubstitution (SIS's resub): for
+// every pair of nodes (f, g), try dividing f's function by g's; when
+// the quotient is non-zero and rewriting f as q·g + r saves literals,
+// substitute. This lets functions reuse structure that kernel
+// extraction materialized for other nodes. Returns the number of
+// substitutions performed and a work measure.
+//
+// Only positive-phase substitution is attempted, as in the algebraic
+// (as opposed to Boolean) resubstitution of MIS.
+func Resubstitute(nw *network.Network) (subs, work int) {
+	nodes := nw.NodeVars()
+	// Topological order guards against creating cycles: g may only
+	// be substituted into f when g does not (transitively) depend
+	// on f. We approximate cheaply by allowing substitution only
+	// when g precedes f in topological order.
+	topo, err := nw.TopoSort()
+	if err != nil {
+		return 0, 0
+	}
+	rank := make(map[sop.Var]int, len(topo))
+	for i, v := range topo {
+		rank[v] = i
+	}
+	for _, f := range nodes {
+		fnNode := nw.Node(f)
+		if fnNode == nil {
+			continue
+		}
+		for _, g := range nodes {
+			if f == g {
+				continue
+			}
+			gNode := nw.Node(g)
+			if gNode == nil || rank[g] >= rank[f] {
+				continue
+			}
+			work++
+			gfn := gNode.Fn
+			if gfn.NumCubes() < 2 {
+				continue // single cubes are handled by cube extraction
+			}
+			ffn := nw.Node(f).Fn
+			if ffn.HasVar(g) {
+				continue // already uses g
+			}
+			q, r := ffn.Div(gfn)
+			if q.IsZero() {
+				continue
+			}
+			candidate := q.MulCube(sop.Cube{sop.Pos(g)}).Add(r)
+			if candidate.Literals() < ffn.Literals() {
+				nw.SetFn(f, candidate)
+				subs++
+			}
+		}
+	}
+	return subs, work
+}
+
+// Decompose breaks large nodes into smaller ones (SIS's decomp -g):
+// while a node's function has a profitable kernel, extract the best
+// kernel into a new node feeding it. Unlike network-wide kernel
+// extraction, decomposition is local to one function — it reduces
+// node size (and factored depth) rather than sharing logic. Returns
+// the number of new nodes and a work measure.
+func Decompose(nw *network.Network, maxNodeCubes int) (created, work int) {
+	if maxNodeCubes <= 0 {
+		maxNodeCubes = 12
+	}
+	agenda := nw.NodeVars()
+	for len(agenda) > 0 {
+		v := agenda[0]
+		agenda = agenda[1:]
+		nd := nw.Node(v)
+		if nd == nil || nd.Fn.NumCubes() <= maxNodeCubes {
+			continue
+		}
+		work += nd.Fn.NumCubes()
+		k, ok := bestLocalKernel(nd.Fn)
+		if !ok {
+			continue
+		}
+		q, r := nd.Fn.Div(k)
+		if q.IsZero() {
+			continue
+		}
+		// New node for the kernel; rewrite v.
+		kv := nw.NewNodeVar(k)
+		nf := q.MulCube(sop.Cube{sop.Pos(kv)}).Add(r)
+		if nf.Literals()+k.Literals() > nd.Fn.Literals() {
+			nw.RemoveNode(kv)
+			continue
+		}
+		nw.SetFn(v, nf)
+		created++
+		// Both pieces may still be large.
+		agenda = append(agenda, v, kv)
+	}
+	return created, work
+}
+
+// bestLocalKernel picks the kernel with the best internal literal
+// savings for single-function decomposition.
+func bestLocalKernel(f sop.Expr) (sop.Expr, bool) {
+	pairs := kernelPairs(f)
+	best := sop.Expr{}
+	bestGain := 0
+	found := false
+	for _, k := range pairs {
+		if k.NumCubes() < 2 || k.Equal(f) {
+			continue
+		}
+		q, r := f.Div(k)
+		if q.IsZero() {
+			continue
+		}
+		gain := f.Literals() - (q.Literals() + q.NumCubes() + k.Literals() + r.Literals())
+		if !found || gain > bestGain {
+			best, bestGain, found = k, gain, true
+		}
+	}
+	if !found || bestGain < 0 {
+		return sop.Expr{}, false
+	}
+	return best, true
+}
+
+// kernelPairs returns the kernels of f (without co-kernels).
+func kernelPairs(f sop.Expr) []sop.Expr {
+	var out []sop.Expr
+	for _, p := range kernels.All(f, kernels.Options{}) {
+		out = append(out, p.Kernel)
+	}
+	return out
+}

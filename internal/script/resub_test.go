@@ -1,0 +1,112 @@
+package script
+
+import (
+	"testing"
+
+	"repro/internal/equiv"
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+func TestResubstituteReusesNode(t *testing.T) {
+	// g = a + b exists; f = ac + bc can be rewritten as g*c.
+	nw := network.New("t")
+	for _, in := range []string{"a", "b", "c"} {
+		nw.AddInput(in)
+	}
+	nw.MustAddNode("g", sop.MustParseExpr(nw.Names, "a + b"))
+	nw.MustAddNode("f", sop.MustParseExpr(nw.Names, "a*c + b*c"))
+	nw.AddOutput("g")
+	nw.AddOutput("f")
+	ref := nw.Clone()
+	subs, work := Resubstitute(nw)
+	if subs != 1 {
+		t.Fatalf("subs = %d want 1", subs)
+	}
+	if work == 0 {
+		t.Fatal("work not counted")
+	}
+	f, _ := nw.Names.Lookup("f")
+	if got := nw.Node(f).Fn.Format(nw.Names.Fmt()); got != "c*g" && got != "g*c" {
+		t.Fatalf("f = %s want c*g", got)
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResubstituteAvoidsCycles(t *testing.T) {
+	// f reads g already; resubstituting f into g would create a
+	// cycle. The topological guard must prevent it.
+	nw := network.New("t")
+	for _, in := range []string{"a", "b"} {
+		nw.AddInput(in)
+	}
+	nw.MustAddNode("g", sop.MustParseExpr(nw.Names, "a + b"))
+	nw.MustAddNode("f", sop.MustParseExpr(nw.Names, "g*a + g*b"))
+	nw.AddOutput("f")
+	Resubstitute(nw)
+	if _, err := nw.TopoSort(); err != nil {
+		t.Fatalf("resubstitution created a cycle: %v", err)
+	}
+}
+
+func TestResubstituteNoOpWhenNothingShared(t *testing.T) {
+	nw := network.New("t")
+	for _, in := range []string{"a", "b", "c", "d"} {
+		nw.AddInput(in)
+	}
+	nw.MustAddNode("g", sop.MustParseExpr(nw.Names, "a + b"))
+	nw.MustAddNode("f", sop.MustParseExpr(nw.Names, "c*d"))
+	nw.AddOutput("g")
+	nw.AddOutput("f")
+	subs, _ := Resubstitute(nw)
+	if subs != 0 {
+		t.Fatalf("unexpected substitutions: %d", subs)
+	}
+}
+
+func TestDecomposeSplitsLargeNode(t *testing.T) {
+	// One fat node with clear kernel structure decomposes into
+	// smaller pieces without changing the function.
+	nw := network.New("t")
+	for _, in := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		nw.AddInput(in)
+	}
+	big := sop.MustParseExpr(nw.Names,
+		"a*c + a*d + b*c + b*d + e*g + e*h + f*g + f*h")
+	nw.MustAddNode("y", big)
+	nw.AddOutput("y")
+	ref := nw.Clone()
+	created, _ := Decompose(nw, 4)
+	if created == 0 {
+		t.Fatal("no decomposition happened")
+	}
+	y, _ := nw.Names.Lookup("y")
+	if nw.Node(y).Fn.NumCubes() >= big.NumCubes() {
+		t.Fatalf("y still has %d cubes", nw.Node(y).Fn.NumCubes())
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.TopoSort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeLeavesSmallNodes(t *testing.T) {
+	nw := network.PaperExample()
+	created, _ := Decompose(nw, 16)
+	if created != 0 {
+		t.Fatalf("small nodes decomposed: %d", created)
+	}
+}
+
+func TestDecomposeDefaultThreshold(t *testing.T) {
+	nw := network.PaperExample()
+	ref := nw.Clone()
+	Decompose(nw, 0) // default threshold
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

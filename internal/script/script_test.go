@@ -1,0 +1,124 @@
+package script
+
+import (
+	"testing"
+
+	"repro/internal/equiv"
+	"repro/internal/network"
+	"repro/internal/sop"
+)
+
+func TestSweepRemovesDeadAndBuffers(t *testing.T) {
+	nw := network.New("t")
+	a := nw.AddInput("a")
+	nw.AddInput("b")
+	buf := nw.MustAddNode("buf", sop.NewExpr(sop.Cube{sop.Pos(a)}))
+	nw.MustAddNode("y", sop.MustParseExpr(nw.Names, "buf*b"))
+	nw.MustAddNode("dead", sop.MustParseExpr(nw.Names, "a*b"))
+	nw.AddOutput("y")
+	ref := nw.Clone()
+	Sweep(nw)
+	if nw.Node(buf) != nil {
+		t.Fatal("buffer not inlined")
+	}
+	dead, _ := nw.Names.Lookup("dead")
+	if nw.Node(dead) != nil {
+		t.Fatal("dead node not removed")
+	}
+	y, _ := nw.Names.Lookup("y")
+	if got := nw.Node(y).Fn.Format(nw.Names.Fmt()); got != "a*b" {
+		t.Fatalf("y = %s want a*b", got)
+	}
+	// ref still has buf/dead; build a fresh reference without them
+	// for the equivalence check interface (same outputs).
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyAbsorption(t *testing.T) {
+	nw := network.New("t")
+	for _, in := range []string{"a", "b", "c"} {
+		nw.AddInput(in)
+	}
+	nw.MustAddNode("y", sop.MustParseExpr(nw.Names, "a + a*b + a*b*c + b*c"))
+	nw.AddOutput("y")
+	ref := nw.Clone()
+	Simplify(nw)
+	y, _ := nw.Names.Lookup("y")
+	want := sop.MustParseExpr(nw.Names, "a + b*c")
+	if !nw.Node(y).Fn.Equal(want) {
+		t.Fatalf("simplified to %s", nw.Node(y).Fn.Format(nw.Names.Fmt()))
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEliminateSingleFanout(t *testing.T) {
+	nw := network.New("t")
+	for _, in := range []string{"a", "b", "c"} {
+		nw.AddInput(in)
+	}
+	x := nw.MustAddNode("x", sop.MustParseExpr(nw.Names, "a*b"))
+	nw.MustAddNode("y", sop.MustParseExpr(nw.Names, "x + c"))
+	nw.AddOutput("y")
+	ref := nw.Clone()
+	Eliminate(nw)
+	if nw.Node(x) != nil {
+		t.Fatal("single-fanout node not eliminated")
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEliminateKeepsSharedNodes(t *testing.T) {
+	nw := network.New("t")
+	for _, in := range []string{"a", "b"} {
+		nw.AddInput(in)
+	}
+	x := nw.MustAddNode("x", sop.MustParseExpr(nw.Names, "a*b"))
+	nw.MustAddNode("y", sop.MustParseExpr(nw.Names, "x + a"))
+	nw.MustAddNode("z", sop.MustParseExpr(nw.Names, "x + b"))
+	nw.AddOutput("y")
+	nw.AddOutput("z")
+	Eliminate(nw)
+	if nw.Node(x) == nil {
+		t.Fatal("shared node must not be eliminated")
+	}
+}
+
+func TestCollapseBlocksOnComplement(t *testing.T) {
+	nw := network.New("t")
+	nw.AddInput("a")
+	x := nw.MustAddNode("x", sop.MustParseExpr(nw.Names, "a"))
+	f := sop.NewExpr(sop.Cube{sop.Neg(x)})
+	if _, ok := collapse(f, x, nw.Node(x).Fn); ok {
+		t.Fatal("collapse through complement must be refused")
+	}
+}
+
+func TestRunPaperNetwork(t *testing.T) {
+	nw := network.PaperExample()
+	ref := nw.Clone()
+	res := Run(nw, Options{})
+	if res.InitialLC != 33 {
+		t.Fatalf("initial LC %d", res.InitialLC)
+	}
+	if res.FinalLC > 22 {
+		t.Fatalf("final LC %d want <= 22", res.FinalLC)
+	}
+	if res.FacInvocations < 2 {
+		t.Fatalf("fac invoked %d times", res.FacInvocations)
+	}
+	if res.FacWork == 0 || res.TotalWork < res.FacWork {
+		t.Fatalf("work accounting broken: fac %d total %d", res.FacWork, res.TotalWork)
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) == 0 || res.Passes == 0 {
+		t.Fatal("phases not recorded")
+	}
+}

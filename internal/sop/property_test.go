@@ -1,0 +1,176 @@
+package sop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randExpr draws a small random positive-phase expression. Algebraic
+// factorization operates on positive literals in practice (SIS treats
+// x and x' as unrelated literals), so positive-only generation
+// exercises the interesting paths while keeping cubes consistent.
+func randExpr(r *rand.Rand, maxVars, maxCubes, maxLen int) Expr {
+	nc := 1 + r.Intn(maxCubes)
+	cubes := make([]Cube, 0, nc)
+	for i := 0; i < nc; i++ {
+		nl := 1 + r.Intn(maxLen)
+		lits := make([]Lit, 0, nl)
+		for j := 0; j < nl; j++ {
+			lits = append(lits, Pos(Var(r.Intn(maxVars))))
+		}
+		c, ok := NewCube(lits...)
+		if !ok {
+			continue
+		}
+		cubes = append(cubes, c)
+	}
+	return NewExpr(cubes...)
+}
+
+func randCube(r *rand.Rand, maxVars, maxLen int) Cube {
+	nl := 1 + r.Intn(maxLen)
+	lits := make([]Lit, 0, nl)
+	for j := 0; j < nl; j++ {
+		lits = append(lits, Pos(Var(r.Intn(maxVars))))
+	}
+	c, _ := NewCube(lits...)
+	return c
+}
+
+// Property: weak division recomposes exactly: f == (f/g)*g + r.
+func TestQuickDivisionRecomposition(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randExpr(r, 8, 8, 4)
+		g := randExpr(r, 8, 3, 2)
+		q, rem := f.Div(g)
+		return q.Mul(g).Add(rem).Equal(f)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no cube of the remainder is divisible by any cube of the
+// divisor's quotient product — equivalently r = f - q*g exactly and
+// dividing r by g again yields quotient 0.
+func TestQuickRemainderIrreducible(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randExpr(r, 8, 8, 4)
+		g := randExpr(r, 8, 3, 2)
+		q, rem := f.Div(g)
+		if q.IsZero() {
+			return rem.Equal(f)
+		}
+		q2, _ := rem.Div(g)
+		return q2.IsZero()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cube division is exact: (f * c) / c == f when f has no
+// variable of c (multiplying in fresh literals then dividing them out
+// is the identity).
+func TestQuickMulDivCubeInverse(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randExpr(r, 6, 6, 3)
+		// Fresh variables 100.. for the cube.
+		nl := 1 + r.Intn(3)
+		lits := make([]Lit, 0, nl)
+		for j := 0; j < nl; j++ {
+			lits = append(lits, Pos(Var(100+r.Intn(4))))
+		}
+		c, _ := NewCube(lits...)
+		return f.MulCube(c).DivCube(c).Equal(f)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MakeCubeFree yields a cube-free quotient and recomposes.
+func TestQuickMakeCubeFree(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randExpr(r, 6, 6, 4)
+		if f.IsZero() {
+			return true
+		}
+		free, cc := f.MakeCubeFree()
+		if len(cc) > 0 && !free.IsCubeFree() && free.NumCubes() > 1 {
+			return false
+		}
+		return free.MulCube(cc).Equal(f)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative, associative, idempotent (set union).
+func TestQuickAddSetLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randExpr(r, 8, 5, 3)
+		g := randExpr(r, 8, 5, 3)
+		h := randExpr(r, 8, 5, 3)
+		if !f.Add(g).Equal(g.Add(f)) {
+			return false
+		}
+		if !f.Add(g).Add(h).Equal(f.Add(g.Add(h))) {
+			return false
+		}
+		return f.Add(f).Equal(f)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Contains is a partial order consistent with Union/Minus.
+func TestQuickCubeContainsUnion(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randCube(r, 8, 4)
+		b := randCube(r, 8, 4)
+		u, ok := a.Union(b)
+		if !ok {
+			return true // positive-only cubes never contradict
+		}
+		if !u.Contains(a) || !u.Contains(b) {
+			return false
+		}
+		// (a∪b) minus b leaves only literals of a.
+		return a.Contains(u.Minus(b))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: literal count is additive over Add for disjoint cube sets.
+func TestQuickLiteralsAdditive(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randExpr(r, 8, 5, 3)
+		g := randExpr(r, 8, 5, 3)
+		sum := f.Add(g)
+		overlap := f.Minus(sum.Minus(g)) // cubes in both f and g
+		return sum.Literals() == f.Literals()+g.Literals()-overlap.Literals()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

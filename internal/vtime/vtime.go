@@ -1,0 +1,215 @@
+// Package vtime models a p-processor shared-memory multiprocessor
+// with per-worker virtual clocks, so the paper's speedup experiments
+// can be reproduced deterministically on a host with any number of
+// physical cores (this reproduction targets a single-core container;
+// see DESIGN.md's substitution table).
+//
+// Workers (goroutines) charge their own clock for the work they do —
+// kernels generated, rectangle search nodes visited, cubes divided —
+// and synchronization points advance clocks the way the modeled
+// machine would: a barrier advances every participant to the maximum,
+// a broadcast charges the sender per recipient and the recipients per
+// word received, and a critical section serializes on a modeled lock.
+// Speedup is then V(sequential)/V(parallel) on identical inputs,
+// which measures exactly the algorithmic quantities the paper's
+// wall-clock numbers measured: work division, redundant work, and
+// synchronization losses.
+package vtime
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Model holds the per-operation cost constants in abstract time
+// units. One unit is roughly one cheap inner-loop step (a matrix
+// entry touched, a search-tree node expanded); generating a kernel
+// pair costs several such steps. Communication constants model a
+// mid-90s bus-based shared-memory machine (cf. SPARCserver 1000E):
+// moving a word between processors costs about one local step, and a
+// barrier costs a few hundred steps of overhead per participant on
+// top of waiting for the slowest.
+type Model struct {
+	// KernelPair is the cost per (kernel, co-kernel) pair generated.
+	KernelPair int64
+	// MatrixEntry is the cost per KC-matrix entry built.
+	MatrixEntry int64
+	// SearchVisit is the cost per rectangle search-tree node.
+	SearchVisit int64
+	// DivisionCube is the cost per function cube touched during
+	// network division.
+	DivisionCube int64
+	// BroadcastWord is the per-word cost of inter-processor data
+	// movement (matrix rows, kernel lists, rectangles).
+	BroadcastWord int64
+	// Barrier is the fixed overhead every participant pays per
+	// barrier, beyond waiting for the slowest.
+	Barrier int64
+	// Lock is the cost of one acquire/release of a shared lock.
+	Lock int64
+}
+
+// DefaultModel returns the calibrated cost constants used by the
+// experiment harness.
+func DefaultModel() Model {
+	return Model{
+		KernelPair:    8,
+		MatrixEntry:   1,
+		SearchVisit:   1,
+		DivisionCube:  2,
+		BroadcastWord: 1,
+		Barrier:       400,
+		Lock:          8,
+	}
+}
+
+// Machine is a virtual p-processor machine. Worker methods are safe
+// for concurrent use by the owning worker; coordinator methods
+// (Barrier, Elapsed) must be called when workers are quiescent or via
+// the built-in synchronization.
+type Machine struct {
+	model  Model
+	clocks []int64 // accessed atomically
+
+	barMu    sync.Mutex
+	barCount int
+	barGen   int
+	barCond  *sync.Cond
+	barriers int64
+}
+
+// NewMachine returns a machine with p worker clocks at 0.
+func NewMachine(p int, m Model) *Machine {
+	mc := &Machine{model: m, clocks: make([]int64, p)}
+	mc.barCond = sync.NewCond(&mc.barMu)
+	return mc
+}
+
+// P returns the number of modeled processors.
+func (mc *Machine) P() int { return len(mc.clocks) }
+
+// Model returns the machine's cost constants.
+func (mc *Machine) Model() Model { return mc.model }
+
+// Charge adds n abstract time units to worker w's clock.
+func (mc *Machine) Charge(w int, n int64) {
+	atomic.AddInt64(&mc.clocks[w], n)
+}
+
+// ChargeKernelPairs charges w for generating n kernel pairs.
+func (mc *Machine) ChargeKernelPairs(w, n int) {
+	mc.Charge(w, int64(n)*mc.model.KernelPair)
+}
+
+// ChargeMatrixEntries charges w for building n matrix entries.
+func (mc *Machine) ChargeMatrixEntries(w, n int) {
+	mc.Charge(w, int64(n)*mc.model.MatrixEntry)
+}
+
+// ChargeSearchVisits charges w for expanding n search-tree nodes.
+func (mc *Machine) ChargeSearchVisits(w, n int) {
+	mc.Charge(w, int64(n)*mc.model.SearchVisit)
+}
+
+// ChargeDivisionCubes charges w for touching n cubes during division.
+func (mc *Machine) ChargeDivisionCubes(w, n int) {
+	mc.Charge(w, int64(n)*mc.model.DivisionCube)
+}
+
+// ChargeBroadcast charges sender w for shipping words to each of the
+// other p-1 processors, and every receiver for reading them. Used
+// for the replicated algorithm's kernel broadcast and the L-shaped
+// algorithm's sub-matrix exchange.
+func (mc *Machine) ChargeBroadcast(w int, words int) {
+	p := int64(len(mc.clocks))
+	if p <= 1 {
+		return
+	}
+	cost := int64(words) * mc.model.BroadcastWord
+	for i := range mc.clocks {
+		if i == w {
+			mc.Charge(i, cost*(p-1)) // sender pays per recipient
+		} else {
+			mc.Charge(i, cost)
+		}
+	}
+}
+
+// ChargeSend charges a point-to-point transfer of words from w to to.
+func (mc *Machine) ChargeSend(w, to, words int) {
+	cost := int64(words) * mc.model.BroadcastWord
+	mc.Charge(w, cost)
+	if to != w {
+		mc.Charge(to, cost)
+	}
+}
+
+// ChargeLock charges worker w one lock acquire/release.
+func (mc *Machine) ChargeLock(w int) {
+	mc.Charge(w, mc.model.Lock)
+}
+
+// Barrier blocks until all p workers have arrived, then advances
+// every clock to the maximum plus the barrier overhead. It is the
+// modeled and actual synchronization point of the replicated
+// algorithm's per-extraction lockstep.
+func (mc *Machine) Barrier(w int) {
+	mc.barMu.Lock()
+	gen := mc.barGen
+	mc.barCount++
+	if mc.barCount == len(mc.clocks) {
+		// Last arrival: level all clocks to max + overhead.
+		max := int64(0)
+		for i := range mc.clocks {
+			if c := atomic.LoadInt64(&mc.clocks[i]); c > max {
+				max = c
+			}
+		}
+		for i := range mc.clocks {
+			atomic.StoreInt64(&mc.clocks[i], max+mc.model.Barrier)
+		}
+		mc.barriers++
+		mc.barCount = 0
+		mc.barGen++
+		mc.barCond.Broadcast()
+		mc.barMu.Unlock()
+		return
+	}
+	for gen == mc.barGen {
+		mc.barCond.Wait()
+	}
+	mc.barMu.Unlock()
+}
+
+// Barriers returns how many barriers completed.
+func (mc *Machine) Barriers() int64 {
+	mc.barMu.Lock()
+	defer mc.barMu.Unlock()
+	return mc.barriers
+}
+
+// Clock returns worker w's current virtual time.
+func (mc *Machine) Clock(w int) int64 {
+	return atomic.LoadInt64(&mc.clocks[w])
+}
+
+// Elapsed returns the machine's virtual makespan: the maximum clock.
+func (mc *Machine) Elapsed() int64 {
+	max := int64(0)
+	for i := range mc.clocks {
+		if c := atomic.LoadInt64(&mc.clocks[i]); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// TotalWork returns the sum of all clocks — the modeled aggregate
+// computation, used to report redundant work.
+func (mc *Machine) TotalWork() int64 {
+	t := int64(0)
+	for i := range mc.clocks {
+		t += atomic.LoadInt64(&mc.clocks[i])
+	}
+	return t
+}

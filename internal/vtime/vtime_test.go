@@ -1,0 +1,137 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestChargeAndElapsed(t *testing.T) {
+	m := NewMachine(3, DefaultModel())
+	m.Charge(0, 10)
+	m.Charge(1, 25)
+	m.Charge(2, 5)
+	if m.Elapsed() != 25 {
+		t.Fatalf("elapsed = %d want 25", m.Elapsed())
+	}
+	if m.TotalWork() != 40 {
+		t.Fatalf("total = %d want 40", m.TotalWork())
+	}
+	if m.Clock(1) != 25 {
+		t.Fatalf("clock(1) = %d", m.Clock(1))
+	}
+}
+
+func TestChargeHelpers(t *testing.T) {
+	mod := Model{KernelPair: 2, MatrixEntry: 3, SearchVisit: 5, DivisionCube: 7}
+	m := NewMachine(1, mod)
+	m.ChargeKernelPairs(0, 4)
+	m.ChargeMatrixEntries(0, 3)
+	m.ChargeSearchVisits(0, 2)
+	m.ChargeDivisionCubes(0, 1)
+	want := int64(4*2 + 3*3 + 2*5 + 1*7)
+	if m.Clock(0) != want {
+		t.Fatalf("clock = %d want %d", m.Clock(0), want)
+	}
+}
+
+func TestBroadcastCosts(t *testing.T) {
+	mod := Model{BroadcastWord: 10}
+	m := NewMachine(4, mod)
+	m.ChargeBroadcast(1, 5) // 5 words to 3 peers
+	if m.Clock(1) != 150 {  // sender: 5*10*3
+		t.Fatalf("sender clock = %d want 150", m.Clock(1))
+	}
+	for _, w := range []int{0, 2, 3} {
+		if m.Clock(w) != 50 {
+			t.Fatalf("receiver %d clock = %d want 50", w, m.Clock(w))
+		}
+	}
+	// Single processor: broadcast is free.
+	m1 := NewMachine(1, mod)
+	m1.ChargeBroadcast(0, 100)
+	if m1.Clock(0) != 0 {
+		t.Fatal("broadcast on p=1 must cost nothing")
+	}
+}
+
+func TestChargeSend(t *testing.T) {
+	mod := Model{BroadcastWord: 2}
+	m := NewMachine(3, mod)
+	m.ChargeSend(0, 2, 7)
+	if m.Clock(0) != 14 || m.Clock(2) != 14 || m.Clock(1) != 0 {
+		t.Fatalf("clocks = %d %d %d", m.Clock(0), m.Clock(1), m.Clock(2))
+	}
+	m.ChargeSend(1, 1, 5) // self-send charges once
+	if m.Clock(1) != 10 {
+		t.Fatalf("self-send clock = %d want 10", m.Clock(1))
+	}
+}
+
+func TestBarrierLevelsClocks(t *testing.T) {
+	mod := Model{Barrier: 100}
+	m := NewMachine(4, mod)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m.Charge(w, int64(10*(w+1)))
+			m.Barrier(w)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		if m.Clock(w) != 140 { // max 40 + overhead 100
+			t.Fatalf("clock(%d) = %d want 140", w, m.Clock(w))
+		}
+	}
+	if m.Barriers() != 1 {
+		t.Fatalf("barriers = %d want 1", m.Barriers())
+	}
+}
+
+func TestRepeatedBarriers(t *testing.T) {
+	mod := Model{Barrier: 1}
+	m := NewMachine(2, mod)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m.Charge(w, 1)
+				m.Barrier(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Barriers() != 50 {
+		t.Fatalf("barriers = %d want 50", m.Barriers())
+	}
+	// Every round: +1 work, level, +1 overhead => 2 per round.
+	if m.Clock(0) != 100 || m.Clock(1) != 100 {
+		t.Fatalf("clocks = %d %d want 100", m.Clock(0), m.Clock(1))
+	}
+}
+
+func TestConcurrentChargesRaceFree(t *testing.T) {
+	m := NewMachine(4, DefaultModel())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Charge(w, 1)
+				m.ChargeLock(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(1000 + 1000*DefaultModel().Lock)
+	for w := 0; w < 4; w++ {
+		if m.Clock(w) != want {
+			t.Fatalf("clock(%d) = %d want %d", w, m.Clock(w), want)
+		}
+	}
+}
