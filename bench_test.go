@@ -158,11 +158,13 @@ func BenchmarkFig1SearchSplit(b *testing.B) {
 	m := kcm.Build(nw, nw.NodeVars(), kernels.Options{})
 	cfg := rect.Config{MaxCols: 5, MaxVisits: 1 << 20}
 	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rect.Best(m, cfg, rect.WeightValuer)
 		}
 	})
 	b.Run("slice1of4", func(b *testing.B) {
+		b.ReportAllocs()
 		slices := rect.SplitColumns(m, 4)
 		c := cfg
 		c.LeftmostCols = slices[0]

@@ -1,0 +1,132 @@
+// Command benchjson runs the key rectangle-search and extraction
+// benchmarks through testing.Benchmark and writes the results as
+// JSON, so perf changes to the search hot path can be recorded and
+// diffed (BENCH_rect.json at the repo root holds the current
+// numbers).
+//
+// Usage:
+//
+//	benchjson                 # writes BENCH_rect.json
+//	benchjson -o results.json
+//	benchjson -benchtime 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/gen"
+	"repro/internal/kcm"
+	"repro/internal/kernels"
+	"repro/internal/network"
+	"repro/internal/rect"
+)
+
+// Result is one benchmark's record.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_rect.json", "output file")
+		benchtime = flag.Duration("benchtime", time.Second, "per-benchmark target time")
+	)
+	flag.Parse()
+	flag.Set("test.benchtime", benchtime.String())
+
+	misex3 := circuit("misex3")
+	dalu := circuit("dalu")
+
+	// The same workloads as BenchmarkFig1SearchSplit,
+	// BenchmarkKernelExtractCall and BenchmarkFig2MatrixBuild in
+	// bench_test.go.
+	searchCfg := rect.Config{MaxCols: 5, MaxVisits: 1 << 20}
+	extractOpt := extract.Options{
+		Rect:   rect.Config{MaxCols: 5, MaxVisits: 50000},
+		BatchK: 16,
+	}
+	m := kcm.Build(misex3, misex3.NodeVars(), kernels.Options{})
+	slices := rect.SplitColumns(m, 4)
+
+	results := []Result{
+		run("Fig1SearchSplit/full", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rect.Best(m, searchCfg, rect.WeightValuer)
+			}
+		}),
+		run("Fig1SearchSplit/slice1of4", func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := searchCfg
+			cfg.LeftmostCols = slices[0]
+			for i := 0; i < b.N; i++ {
+				rect.Best(m, cfg, rect.WeightValuer)
+			}
+		}),
+		run("KernelExtractCall", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Regenerating the circuit per iteration matches
+				// BenchmarkKernelExtractCall, keeping the JSON
+				// comparable with `go test -bench`.
+				nw := circuit("misex3")
+				extract.KernelExtract(nw, nil, extractOpt)
+			}
+		}),
+		run("Fig2MatrixBuild", func(b *testing.B) {
+			b.ReportAllocs()
+			nodes := dalu.NodeVars()
+			for i := 0; i < b.N; i++ {
+				kcm.Build(dalu, nodes, kernels.Options{})
+			}
+		}),
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func run(name string, fn func(b *testing.B)) Result {
+	fmt.Fprintf(os.Stderr, "running %s...\n", name)
+	br := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		Iterations:  br.N,
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+}
+
+func circuit(name string) *network.Network {
+	nw, err := gen.Benchmark(name)
+	if err != nil {
+		fatal(err)
+	}
+	return nw
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

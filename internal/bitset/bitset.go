@@ -1,0 +1,142 @@
+// Package bitset implements fixed-width dense bit sets over []uint64
+// words, the substrate of the rectangle-search fast path: row subsets,
+// candidate-column masks and covered-cube sets are all bitsets, so the
+// set operations that dominate the Figure 1 enumeration (intersection,
+// union, membership) compile to a handful of word instructions instead
+// of map traffic.
+//
+// A Set is a plain slice; callers that need maximum speed may range
+// over its words directly and extract bit positions with
+// math/bits.TrailingZeros64, which is what internal/rect does.
+package bitset
+
+import "math/bits"
+
+// Set is a dense bit set. Index i lives in word i/64 at bit i%64. The
+// methods never grow the slice; size it with New or Words at creation.
+type Set []uint64
+
+// Words returns the number of uint64 words needed to hold n bits.
+func Words(n int) int { return (n + 63) >> 6 }
+
+// New returns a zeroed set with capacity for n bits.
+func New(n int) Set { return make(Set, Words(n)) }
+
+// Cap returns the number of bits the set can hold.
+func (s Set) Cap() int { return len(s) << 6 }
+
+// Test reports whether bit i is set.
+func (s Set) Test(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (s Set) Set(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (s Set) Clear(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Reset clears every bit.
+func (s Set) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (s Set) Any() bool {
+	for _, w := range s {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Copy overwrites s with src. The sets must have equal width.
+func (s Set) Copy(src Set) { copy(s, src) }
+
+// And stores a ∧ b into s. All three sets must have equal width; s may
+// alias a or b.
+func (s Set) And(a, b Set) {
+	for i := range s {
+		s[i] = a[i] & b[i]
+	}
+}
+
+// AndCount returns |s ∧ b| without materializing the intersection.
+func (s Set) AndCount(b Set) int {
+	n := 0
+	for i, w := range s {
+		n += bits.OnesCount64(w & b[i])
+	}
+	return n
+}
+
+// Or folds b into s (s |= b). The sets must have equal width.
+func (s Set) Or(b Set) {
+	for i := range s {
+		s[i] |= b[i]
+	}
+}
+
+// AndNot removes b's bits from s (s &^= b).
+func (s Set) AndNot(b Set) {
+	for i := range s {
+		s[i] &^= b[i]
+	}
+}
+
+// NextSet returns the position of the first set bit at or after i, or
+// -1 when none remains.
+func (s Set) NextSet(i int) int {
+	if i >= s.Cap() {
+		return -1
+	}
+	wi := i >> 6
+	w := s[wi] >> (uint(i) & 63) << (uint(i) & 63)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(s) {
+			return -1
+		}
+		w = s[wi]
+	}
+}
+
+// ForEach calls fn on every set bit in ascending order until fn
+// returns false.
+func (s Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			if !fn(wi<<6 + b) {
+				return
+			}
+		}
+	}
+}
+
+// Iterate appends the positions of all set bits to dst in ascending
+// order and returns the extended slice.
+func (s Set) Iterate(dst []int) []int {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			dst = append(dst, wi<<6+b)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,30 @@
+package bitset
+
+import "sync"
+
+// Pool recycles scratch sets across searches so the hot loops allocate
+// nothing in steady state. Sets of different widths share one pool:
+// Get reslices a pooled allocation when its capacity suffices and
+// falls back to a fresh allocation otherwise.
+type Pool struct {
+	p sync.Pool
+}
+
+// Get returns a zeroed set with capacity for n bits.
+func (p *Pool) Get(n int) Set {
+	w := Words(n)
+	if v, ok := p.p.Get().(Set); ok && cap(v) >= w {
+		s := v[:w]
+		s.Reset()
+		return s
+	}
+	return make(Set, w)
+}
+
+// Put returns a set obtained from Get to the pool.
+func (p *Pool) Put(s Set) {
+	if cap(s) == 0 {
+		return
+	}
+	p.p.Put(s[:cap(s)])
+}

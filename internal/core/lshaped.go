@@ -159,9 +159,9 @@ func lshapedCall(nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.
 			// progress when two workers speculate on overlapping
 			// rectangles (each failed claim shrinks the loser's
 			// search space; the winner divides the cubes).
-			banned := map[int64]bool{}
+			banned := rect.NewCubeSet(l.M.MaxCubeID())
 			val := func(e kcm.Entry) int {
-				if banned[e.CubeID] {
+				if banned.Has(e.CubeID) {
 					return 0
 				}
 				return st.Value(w, e.CubeID, e.Weight)
@@ -234,7 +234,7 @@ func lshapedCall(nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.
 						// cubes locally and try the next
 						// candidate.
 						for _, id := range ids {
-							banned[id] = true
+							banned.Add(id)
 						}
 						continue
 					}

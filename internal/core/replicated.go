@@ -108,17 +108,18 @@ func replicatedCall(nets []*network.Network, active []sop.Var, opt Options, mc *
 			// Phase 3: lockstep greedy cover. Each worker owns a
 			// slice of root columns; the global best is reduced
 			// after a barrier and applied by everyone.
-			covered := map[int64]bool{}
+			covered := rect.NewCover(merged)
 			slices := rect.SplitColumns(merged, p)
 			for {
 				cfg := opt.Rect
+				cfg.Cover = covered
 				cfg.LeftmostCols = slices[w]
 				if len(slices[w]) == 0 {
 					// Worker without columns still participates
 					// in the barriers.
 					cfg.LeftmostCols = []int64{-1}
 				}
-				best, stats := rect.Best(merged, cfg, rect.CoveredValuer(covered))
+				best, stats := rect.Best(merged, cfg, nil)
 				mc.ChargeSearchVisits(w, stats.Visits)
 				bests[w] = best
 				mc.Barrier(w)

@@ -101,8 +101,9 @@ func KernelExtract(nw *network.Network, nodes []sop.Var, opt Options) Result {
 	m := kcm.Build(nw, nodes, opt.Kernel)
 	res.Work.KernelPairs += len(m.Rows())
 	res.Work.MatrixEntries += m.NumEntries()
-	covered := map[int64]bool{}
-	val := rect.CoveredValuer(covered)
+	covered := rect.NewCover(m)
+	cfg := opt.Rect
+	cfg.Cover = covered
 	k := opt.BatchK
 	if k < 1 {
 		k = 1
@@ -113,7 +114,7 @@ outer:
 			break
 		}
 		res.Iterations++
-		batch, stats := rect.BestK(m, opt.Rect, val, k)
+		batch, stats := rect.BestK(m, cfg, nil, k)
 		res.Work.SearchVisits += stats.Visits
 		if len(batch) == 0 {
 			break
@@ -180,7 +181,7 @@ func KernelOf(m *kcm.Matrix, r rect.Rect) sop.Expr {
 // all of r's cubes covered. It returns the new node's variable (valid
 // only when changed is true — otherwise the node is removed again),
 // the number of cubes touched, and whether any function changed.
-func ApplyRect(nw *network.Network, m *kcm.Matrix, r rect.Rect, kernel sop.Expr, covered map[int64]bool) (sop.Var, int, bool) {
+func ApplyRect(nw *network.Network, m *kcm.Matrix, r rect.Rect, kernel sop.Expr, covered *rect.Cover) (sop.Var, int, bool) {
 	v := nw.NewNodeVar(kernel)
 	touched := kernel.NumCubes()
 	changed := false
@@ -196,7 +197,7 @@ func ApplyRect(nw *network.Network, m *kcm.Matrix, r rect.Rect, kernel sop.Expr,
 		row := m.Row(rid)
 		for _, c := range r.Cols {
 			if e, ok := row.Entry(c); ok {
-				covered[e.CubeID] = true
+				covered.Mark(e.CubeID)
 			}
 		}
 	}
@@ -245,7 +246,7 @@ func GroupRows(m *kcm.Matrix, r rect.Rect) []NodeRows {
 // assuming the kernel itself costs nothing, under the current covered
 // state. It also returns the function cubes the rows denote, for the
 // add-back step.
-func ZeroCostGain(m *kcm.Matrix, nr NodeRows, covered map[int64]bool) (int, []sop.Cube) {
+func ZeroCostGain(m *kcm.Matrix, nr NodeRows, covered *rect.Cover) (int, []sop.Cube) {
 	gain := 0
 	var cubes []sop.Cube
 	for _, rid := range nr.Rows {
@@ -256,7 +257,7 @@ func ZeroCostGain(m *kcm.Matrix, nr NodeRows, covered map[int64]bool) (int, []so
 			if !ok {
 				continue
 			}
-			if !covered[e.CubeID] {
+			if !covered.Has(e.CubeID) {
 				rowVal += e.Weight
 			}
 			fc, ok2 := row.CoKernel.Union(m.Col(c).Cube)

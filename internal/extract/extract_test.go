@@ -102,14 +102,14 @@ func TestZeroCostCheckReproducesExample52(t *testing.T) {
 			nw.Node(F).Fn.Literals())
 	}
 	// Mark the covered cubes in matrix terms.
-	covered := map[int64]bool{}
+	covered := rect.NewCover(m)
 	for _, row := range m.Rows() {
 		ck := row.CoKernel.Format(names.Fmt())
 		if ck == "a" || ck == "b" {
 			for _, e := range row.Entries {
 				cc := m.Col(e.Col).Cube.Format(names.Fmt())
 				if cc == "f" || cc == "d*e" {
-					covered[e.CubeID] = true
+					covered.Mark(e.CubeID)
 				}
 			}
 		}

@@ -122,6 +122,7 @@ func Merge(dst, src *Matrix) {
 				oldID := dc.ID
 				dc.ID = sc.ID
 				dst.colByID[dc.ID] = dc
+				dst.invalidate()
 				for _, r := range dst.rows {
 					for i := range r.Entries {
 						if r.Entries[i].Col == oldID {

@@ -65,6 +65,11 @@ type Col struct {
 	Cube sop.Cube
 	// RowIDs lists the rows with an entry in this column, sorted.
 	RowIDs []int64
+	// unsorted is set when an AddRow appended a row id out of order;
+	// sortColRows only pays for sorting on such columns. Builder
+	// insertion draws strictly increasing row ids, so in the common
+	// case no column ever needs an actual sort.
+	unsorted bool
 }
 
 // Matrix is a sparse co-kernel cube matrix.
@@ -75,6 +80,21 @@ type Matrix struct {
 	colByID  map[int64]*Col
 	colByKey map[string]*Col
 	entries  int
+	// maxCubeID tracks the largest CubeID of any entry, sizing the
+	// dense covered-cube bitsets of internal/rect.
+	maxCubeID int64
+	// sortedCols caches SortedColIDs; index caches the dense Index.
+	// Both are dropped by any structural mutation (addRow, internCol,
+	// Merge relabeling).
+	sortedCols []int64
+	index      *Index
+}
+
+// invalidate drops the cached sorted-column list and dense index after
+// a structural mutation.
+func (m *Matrix) invalidate() {
+	m.sortedCols = nil
+	m.index = nil
 }
 
 // NewMatrix returns an empty matrix.
@@ -115,14 +135,23 @@ func (m *Matrix) Sparsity() float64 {
 
 // SortedColIDs returns all column ids in increasing label order; the
 // divide-and-conquer search of §3 slices this list across processors.
+// The result is cached until the next structural mutation (AddRow,
+// InternColumn, Merge) and must be treated as read-only.
 func (m *Matrix) SortedColIDs() []int64 {
-	ids := make([]int64, len(m.cols))
-	for i, c := range m.cols {
-		ids[i] = c.ID
+	if m.sortedCols == nil && len(m.cols) > 0 {
+		ids := make([]int64, len(m.cols))
+		for i, c := range m.cols {
+			ids[i] = c.ID
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		m.sortedCols = ids
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return m.sortedCols
 }
+
+// MaxCubeID returns the largest CubeID appearing in any entry (0 for
+// an empty matrix). Dense covered-cube sets are sized by it.
+func (m *Matrix) MaxCubeID() int64 { return m.maxCubeID }
 
 // InternColumn returns the column for cube, creating it with the
 // given id on first sight. An existing column keeps its original id.
@@ -154,6 +183,7 @@ func (m *Matrix) internCol(cube sop.Cube, id int64) *Col {
 	m.cols = append(m.cols, c)
 	m.colByKey[key] = c
 	m.colByID[id] = c
+	m.invalidate()
 	return c
 }
 
@@ -165,16 +195,28 @@ func (m *Matrix) addRow(r *Row) {
 	m.rowByID[r.ID] = r
 	for _, e := range r.Entries {
 		col := m.colByID[e.Col]
+		if n := len(col.RowIDs); n > 0 && col.RowIDs[n-1] > r.ID {
+			col.unsorted = true
+		}
 		col.RowIDs = append(col.RowIDs, r.ID)
 		m.entries++
+		if e.CubeID > m.maxCubeID {
+			m.maxCubeID = e.CubeID
+		}
 	}
+	m.invalidate()
 }
 
 // sortColRows restores the sorted-row invariant on all columns; called
-// after bulk insertion.
+// after bulk insertion. Only columns that actually saw an out-of-order
+// insertion pay for a sort.
 func (m *Matrix) sortColRows() {
 	for _, c := range m.cols {
+		if !c.unsorted {
+			continue
+		}
 		sort.Slice(c.RowIDs, func(i, j int) bool { return c.RowIDs[i] < c.RowIDs[j] })
+		c.unsorted = false
 	}
 }
 

@@ -81,22 +81,35 @@ func ExtractCall(nw *network.Network, parts [][]sop.Var, opt Options) CallResult
 	own := Distribute(mats)
 	ls, exch := Assemble(mats, own)
 	res.Exchange = exch
-	covered := map[int64]bool{}
-	val := rect.CoveredValuer(covered)
+	var maxCube int64
+	for _, l := range ls {
+		if id := l.M.MaxCubeID(); id > maxCube {
+			maxCube = id
+		}
+	}
+	// One covered-cube set shared across every L-matrix; each matrix
+	// gets its own Cover binding (per-matrix column-value cache).
+	set := rect.NewCubeSet(maxCube)
+	covers := make([]*rect.Cover, len(ls))
+	for p, l := range ls {
+		covers[p] = rect.NewCoverShared(l.M, set)
+	}
 	k := opt.BatchK
 	if k < 1 {
 		k = 1
 	}
 	for p, l := range ls {
+		cfg := opt.Rect
+		cfg.Cover = covers[p]
 		for {
-			batch, stats := rect.BestK(l.M, opt.Rect, val, k)
+			batch, stats := rect.BestK(l.M, cfg, nil, k)
 			res.PerProc[p].SearchVisits += stats.Visits
 			if len(batch) == 0 {
 				break
 			}
 			for _, best := range batch {
 				kernel := extract.KernelOf(l.M, best)
-				v, touched, changed := extract.ApplyRect(nw, l.M, best, kernel, covered)
+				v, touched, changed := extract.ApplyRect(nw, l.M, best, kernel, covers[p])
 				res.PerProc[p].DivisionCubes += touched
 				if changed {
 					res.Extracted++

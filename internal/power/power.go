@@ -93,7 +93,7 @@ func (a *Activities) CubeActivity(c sop.Cube) float64 {
 // its activity-weighted literal count, scaled so weights stay
 // integral (the rectangle machinery works in ints). scale is the
 // number of units per activity point; 16 works well.
-func (a *Activities) Valuer(m *kcm.Matrix, covered map[int64]bool, scale float64) rect.Valuer {
+func (a *Activities) Valuer(m *kcm.Matrix, covered *rect.Cover, scale float64) rect.Valuer {
 	rowOf := map[int64]*kcm.Row{}
 	for _, r := range m.Rows() {
 		for _, e := range r.Entries {
@@ -101,7 +101,7 @@ func (a *Activities) Valuer(m *kcm.Matrix, covered map[int64]bool, scale float64
 		}
 	}
 	return func(e kcm.Entry) int {
-		if covered[e.CubeID] {
+		if covered.Has(e.CubeID) {
 			return 0
 		}
 		r := rowOf[e.CubeID]
@@ -159,7 +159,7 @@ func Extract(nw *network.Network, opt kernels.Options, rc rect.Config, maxExtrac
 		ActivityBefore: NetworkActivityCost(nw, act),
 	}
 	m := kcm.Build(nw, nw.NodeVars(), opt)
-	covered := map[int64]bool{}
+	covered := rect.NewCover(m)
 	val := act.Valuer(m, covered, 16)
 	for {
 		if maxExtractions > 0 && res.Extracted >= maxExtractions {

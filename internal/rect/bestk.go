@@ -21,32 +21,20 @@ func BestK(m *kcm.Matrix, cfg Config, val Valuer, k int) ([]Rect, Stats) {
 		}
 		return []Rect{best}, stats
 	}
-	s := &searcher{m: m, cfg: withDefaults(cfg), val: val, topCap: 8 * k}
-	roots := cfg.LeftmostCols
-	if roots == nil {
-		roots = m.SortedColIDs()
-	} else {
-		roots = append([]int64(nil), roots...)
-		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
-	}
-	all := m.SortedColIDs()
-	for _, c0 := range roots {
-		col := m.Col(c0)
-		if col == nil || len(col.RowIDs) == 0 {
-			continue
-		}
-		if s.colValue(c0, col.RowIDs) == 0 {
-			continue // zero-value dominance prune, as in Best
-		}
-		s.recurse([]int64{c0}, col.RowIDs, all)
-		if s.stats.Truncated {
-			break
-		}
-	}
-	// Greedy disjoint selection in rank order.
+	s := newSearcher(m, cfg, val)
+	s.topCap = 8 * k
+	s.run(cfg.LeftmostCols)
+	out, stats := selectDisjoint(m, s.top, k), s.stats
+	s.release()
+	return out, stats
+}
+
+// selectDisjoint greedily picks up to k cube-disjoint rectangles from
+// the ranked candidate list.
+func selectDisjoint(m *kcm.Matrix, top []Rect, k int) []Rect {
 	var out []Rect
 	used := map[int64]bool{}
-	for _, cand := range s.top {
+	for _, cand := range top {
 		if len(out) >= k {
 			break
 		}
@@ -66,7 +54,7 @@ func BestK(m *kcm.Matrix, cfg Config, val Valuer, k int) ([]Rect, Stats) {
 		}
 		out = append(out, cand)
 	}
-	return out, s.stats
+	return out
 }
 
 // coveredCubeIDs lists the distinct function cubes rectangle r covers.

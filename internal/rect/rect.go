@@ -8,12 +8,23 @@
 // over column sets in increasing label order, so that restricting the
 // root (leftmost) column partitions the whole search space across
 // processors — exactly the paper's divide-and-conquer decomposition.
+//
+// The searcher runs on the dense index of internal/kcm: the row
+// subset at each node is one bitset AND, candidate extensions are
+// found by scanning the surviving rows' dense entry references, and
+// all per-visit scratch comes from a pooled arena, so a search visit
+// allocates nothing. Dense column order equals label order, which
+// keeps the enumeration — and therefore every tie-break and the §3
+// leftmost-column decomposition — bit-for-bit identical to the
+// retained reference implementation (see reference.go).
 package rect
 
 import (
-	"math"
+	"math/bits"
 	"sort"
+	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/kcm"
 )
 
@@ -32,8 +43,8 @@ type Rect struct {
 
 // Valuer returns the literal value a searching processor may claim
 // for the function cube behind an entry. The sequential algorithm
-// returns e.Weight for uncovered cubes and 0 for covered ones; the
-// L-shaped algorithm consults the cube state machine (§5.3).
+// uses a Cover (dense covered-cube set); the L-shaped algorithm
+// consults the cube state machine (§5.3) through a custom Valuer.
 type Valuer func(e kcm.Entry) int
 
 // WeightValuer values every cube at its literal count (nothing
@@ -41,7 +52,8 @@ type Valuer func(e kcm.Entry) int
 func WeightValuer(e kcm.Entry) int { return e.Weight }
 
 // CoveredValuer values cubes at their weight unless their id is in
-// covered.
+// covered. Kept for tests and as the reference covered-set valuer;
+// hot paths use Cover, whose bitset the searcher tests directly.
 func CoveredValuer(covered map[int64]bool) Valuer {
 	return func(e kcm.Entry) int {
 		if covered[e.CubeID] {
@@ -73,6 +85,13 @@ type Config struct {
 	// algorithm uses it to speculatively cover the incumbent's
 	// cubes in the shared state table (§5.3).
 	OnBest func(prev, next Rect)
+	// Cover, when non-nil, values entries from its dense
+	// covered-cube set — an entry is worth its Weight unless its
+	// cube is covered — and supersedes the Valuer argument of
+	// Best/BestK (which may then be nil). This is the fast path of
+	// the greedy cover: membership is a bit test and per-column
+	// claimable values are cached inside the Cover.
+	Cover *Cover
 }
 
 const (
@@ -96,46 +115,11 @@ type Stats struct {
 // row list), so any partition of root columns across workers
 // recombines to the same winner the sequential search finds.
 func Best(m *kcm.Matrix, cfg Config, val Valuer) (Rect, Stats) {
-	s := &searcher{m: m, cfg: withDefaults(cfg), val: val}
-	roots := cfg.LeftmostCols
-	if roots == nil {
-		roots = m.SortedColIDs()
-	} else {
-		roots = append([]int64(nil), roots...)
-		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
-	}
-	all := m.SortedColIDs()
-	for _, c0 := range roots {
-		col := m.Col(c0)
-		if col == nil || len(col.RowIDs) == 0 {
-			continue
-		}
-		if s.colValue(c0, col.RowIDs) == 0 {
-			// Dominance prune: a rectangle containing a column
-			// whose entries are all worth zero in its row set is
-			// dominated by the same rectangle without that
-			// column (more rows, same value, cheaper kernel), so
-			// no best rectangle starts here.
-			continue
-		}
-		s.recurse([]int64{c0}, col.RowIDs, all)
-		if s.stats.Truncated {
-			break
-		}
-	}
-	return s.best, s.stats
-}
-
-// colValue sums the claimable values of column c's entries within the
-// given rows.
-func (s *searcher) colValue(c int64, rows []int64) int {
-	total := 0
-	for _, rid := range rows {
-		if e, ok := s.m.Row(rid).Entry(c); ok {
-			total += s.val(e)
-		}
-	}
-	return total
+	s := newSearcher(m, cfg, val)
+	s.run(cfg.LeftmostCols)
+	best, stats := s.best, s.stats
+	s.release()
+	return best, stats
 }
 
 func withDefaults(cfg Config) Config {
@@ -151,113 +135,236 @@ func withDefaults(cfg Config) Config {
 	return cfg
 }
 
+// searcher is the dense branch-and-bound enumerator. All per-depth
+// state lives in a pooled scratch arena; nothing is allocated per
+// visit.
 type searcher struct {
 	m     *kcm.Matrix
+	ix    *kcm.Index
 	cfg   Config
 	val   Valuer
+	cover *Cover
 	best  Rect
 	stats Stats
 	// top collects ranked candidates when BestK batching is in
 	// effect (topCap > 0).
 	top    []Rect
 	topCap int
+	sc     *scratch
 }
 
-func (s *searcher) recurse(cols []int64, rows []int64, all []int64) {
+func newSearcher(m *kcm.Matrix, cfg Config, val Valuer) *searcher {
+	s := &searcher{m: m, cfg: withDefaults(cfg), val: val, cover: cfg.Cover}
+	s.ix = m.Index()
+	s.sc = getScratch(len(s.ix.RowIDs), len(s.ix.ColIDs), int(s.ix.MaxCubeID)+1, s.cfg.MaxCols)
+	return s
+}
+
+// release returns the scratch arena to the pool. The searcher must not
+// be used afterwards.
+func (s *searcher) release() {
+	putScratch(s.sc)
+	s.sc = nil
+}
+
+// value is the claimable value of one entry: the Cover fast path is a
+// bit test, everything else goes through the generic Valuer.
+func (s *searcher) value(e kcm.Entry) int {
+	if s.cover != nil {
+		if s.cover.set.Has(e.CubeID) {
+			return 0
+		}
+		return e.Weight
+	}
+	return s.val(e)
+}
+
+// run enumerates the search tree from every permitted root column.
+func (s *searcher) run(leftmost []int64) {
+	roots := leftmost
+	if roots == nil {
+		roots = s.m.SortedColIDs()
+	} else {
+		roots = append([]int64(nil), roots...)
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	}
+	sc := s.sc
+	for _, c0 := range roots {
+		dc, ok := s.ix.ColPos(c0)
+		if !ok || len(s.ix.Cols[dc].RowIDs) == 0 {
+			continue
+		}
+		if s.rootValue(dc) == 0 {
+			// Dominance prune: a rectangle containing a column
+			// whose entries are all worth zero in its row set is
+			// dominated by the same rectangle without that
+			// column (more rows, same value, cheaper kernel), so
+			// no best rectangle starts here.
+			continue
+		}
+		sc.rows[0].Copy(s.ix.ColRows[dc])
+		sc.cols[0] = c0
+		sc.dcols[0] = dc
+		sc.kcost[0] = s.ix.Cols[dc].Cube.Weight()
+		s.recurse(1)
+		if s.stats.Truncated {
+			break
+		}
+	}
+}
+
+// rootValue sums the claimable values of a column's entries over its
+// full row set — cached inside the Cover on the fast path.
+func (s *searcher) rootValue(dc int) int {
+	if s.cover != nil {
+		return s.cover.colValue(s.ix, dc)
+	}
+	total := 0
+	for wi, w := range s.ix.ColRows[dc] {
+		for w != 0 {
+			r := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if k := s.ix.EntryAt(r, dc); k >= 0 {
+				total += s.val(s.ix.Rows[r].Entries[k])
+			}
+		}
+	}
+	return total
+}
+
+// recurse expands the search-tree node whose chosen columns are
+// sc.cols[:depth] and whose row subset is sc.rows[depth-1].
+func (s *searcher) recurse(depth int) {
 	s.stats.Visits++
 	if s.stats.Visits > s.cfg.MaxVisits {
 		s.stats.Truncated = true
 		return
 	}
-	if len(cols) >= 2 {
-		s.evaluate(cols, rows)
+	if depth >= 2 {
+		s.evaluate(depth)
 	}
-	if len(cols) >= s.cfg.MaxCols {
+	if depth >= s.cfg.MaxCols {
 		return
 	}
-	last := cols[len(cols)-1]
+	sc := s.sc
+	ix := s.ix
+	rows := sc.rows[depth-1]
+	lastD := int32(sc.dcols[depth-1])
+	cand := sc.cand[depth]
+	cand.Reset()
+	cvals := sc.cvals[depth]
 	// Candidate extensions: columns beyond last present in >= 1 of
 	// the current rows, carrying non-zero claimable value (the
-	// zero-value dominance prune — see Best).
-	cand := map[int64]int{}
-	for _, rid := range rows {
-		r := s.m.Row(rid)
-		for _, e := range r.Entries {
-			if e.Col > last {
-				cand[e.Col] += s.val(e)
+	// zero-value dominance prune — see run). One pass over the
+	// surviving rows' dense entry references replaces the per-visit
+	// candidate map of the reference implementation.
+	for wi, w := range rows {
+		for w != 0 {
+			r := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			refs := ix.RowRefs[r]
+			entries := ix.Rows[r].Entries
+			// Skip entries at or left of the last chosen column.
+			lo, hi := 0, len(refs)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if refs[mid] <= lastD {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			for k := lo; k < len(refs); k++ {
+				dc := int(refs[k])
+				v := s.value(entries[k])
+				if !cand.Test(dc) {
+					cand.Set(dc)
+					cvals[dc] = v
+				} else {
+					cvals[dc] += v
+				}
 			}
 		}
 	}
-	// Walk candidates in increasing label order for determinism.
-	for _, c := range all {
-		if c <= last || cand[c] <= 0 {
-			continue
-		}
-		var sub []int64
-		for _, rid := range rows {
-			if _, ok := s.m.Row(rid).Entry(c); ok {
-				sub = append(sub, rid)
+	// Walk candidates in increasing label order (== dense order) for
+	// determinism. The row subset for an extension is one AND.
+	for wi, w := range cand {
+		for w != 0 {
+			dc := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if cvals[dc] <= 0 {
+				continue
 			}
-		}
-		if len(sub) == 0 {
-			continue
-		}
-		s.recurse(append(cols, c), sub, all)
-		if s.stats.Truncated {
-			return
+			sub := sc.rows[depth]
+			sub.And(rows, ix.ColRows[dc])
+			sc.cols[depth] = ix.ColIDs[dc]
+			sc.dcols[depth] = dc
+			sc.kcost[depth] = sc.kcost[depth-1] + ix.Cols[dc].Cube.Weight()
+			s.recurse(depth + 1)
+			if s.stats.Truncated {
+				return
+			}
 		}
 	}
 }
 
-// evaluate computes the gain of the rectangle spanned by cols and the
-// profitable subset of rows, updating best.
+// evaluate computes the gain of the rectangle spanned by the chosen
+// columns and the profitable subset of the current rows, updating
+// best.
 //
 // Gain model (paper §2, validated against Examples 1.1 and 5.2): each
 // row i rewrites its covered cubes into the single cube
 // cokernel_i·X, so contributes Σ_j value(e_ij) − (|cokernel_i|+1);
 // the new node X costs Σ_j |cube_j| literals. A cube claimed twice
 // within one rectangle is counted once.
-func (s *searcher) evaluate(cols []int64, rows []int64) {
+func (s *searcher) evaluate(depth int) {
 	s.stats.Evals++
-	newNodeCost := 0
-	for _, c := range cols {
-		newNodeCost += s.m.Col(c).Cube.Weight()
-	}
-	var keep []int64
+	sc := s.sc
+	ix := s.ix
+	newNodeCost := sc.kcost[depth-1]
+	keep := sc.keep[:0]
+	seenIDs := sc.seenIDs[:0]
 	total := 0
-	var seen map[int64]bool
-	for _, rid := range rows {
-		r := s.m.Row(rid)
-		rowVal := 0
-		for _, c := range cols {
-			e, ok := r.Entry(c)
-			if !ok {
-				rowVal = math.MinInt32
-				break
-			}
-			if seen[e.CubeID] {
-				continue
-			}
-			v := s.val(e)
-			if v > 0 {
-				if seen == nil {
-					seen = map[int64]bool{}
+	for wi, w := range sc.rows[depth-1] {
+		for w != 0 {
+			r := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			row := ix.Rows[r]
+			rowVal := 0
+			for d := 0; d < depth; d++ {
+				k := ix.EntryAt(r, sc.dcols[d])
+				e := row.Entries[k]
+				if sc.seen.Test(int(e.CubeID)) {
+					continue
 				}
-				seen[e.CubeID] = true
+				v := s.value(e)
+				if v > 0 {
+					sc.seen.Set(int(e.CubeID))
+					seenIDs = append(seenIDs, e.CubeID)
+				}
+				rowVal += v
 			}
-			rowVal += v
-		}
-		contrib := rowVal - (r.CoKernel.Weight() + 1)
-		if contrib > 0 {
-			keep = append(keep, rid)
-			total += contrib
+			contrib := rowVal - (row.CoKernel.Weight() + 1)
+			if contrib > 0 {
+				keep = append(keep, row.ID)
+				total += contrib
+			}
 		}
 	}
+	for _, id := range seenIDs {
+		sc.seen.Clear(int(id))
+	}
+	sc.seenIDs = seenIDs[:0]
+	sc.keep = keep[:0]
 	gain := total - newNodeCost
 	if len(keep) < s.cfg.MinRows || gain <= 0 {
 		return
 	}
-	cand := Rect{Rows: keep, Cols: append([]int64(nil), cols...), Gain: gain}
+	cand := Rect{
+		Rows: append([]int64(nil), keep...),
+		Cols: append([]int64(nil), sc.cols[:depth]...),
+		Gain: gain,
+	}
 	if s.topCap > 0 {
 		s.recordTop(cand)
 	}
@@ -283,6 +390,76 @@ func (s *searcher) better(cand Rect) bool {
 		return d < 0
 	}
 	return compareIDs(cand.Rows, cur.Rows) < 0
+}
+
+// scratch is the per-search arena: row-subset bitsets, candidate
+// masks and value accumulators per depth, the seen-cube set of
+// evaluate, and the chosen-column stacks. Arenas recycle through a
+// sync.Pool and grow monotonically, so steady-state searches allocate
+// only their result rectangles.
+type scratch struct {
+	rows    []bitset.Set // per depth: current row subset
+	cand    []bitset.Set // per depth: candidate extension columns
+	cvals   [][]int      // per depth: claimable value per dense col
+	seen    bitset.Set   // by cube id; always left zeroed
+	seenIDs []int64
+	keep    []int64
+	cols    []int64 // chosen column ids
+	dcols   []int   // chosen dense columns
+	kcost   []int   // prefix kernel cost of chosen columns
+
+	rowWords, colWords, nCols, depths int
+	rowsBack, candBack                bitset.Set
+	cvalBack                          []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch(nRows, nCols, cubeBits, maxCols int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.ensure(nRows, nCols, cubeBits, maxCols)
+	return sc
+}
+
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// ensure sizes the arena for a matrix of nRows x nCols, cube ids below
+// cubeBits, and search depth maxCols, reusing prior capacity.
+func (sc *scratch) ensure(nRows, nCols, cubeBits, maxCols int) {
+	rw, cw := bitset.Words(nRows), bitset.Words(nCols)
+	if rw > sc.rowWords || cw > sc.colWords || nCols > sc.nCols || maxCols > sc.depths {
+		if rw > sc.rowWords {
+			sc.rowWords = rw
+		}
+		if cw > sc.colWords {
+			sc.colWords = cw
+		}
+		if nCols > sc.nCols {
+			sc.nCols = nCols
+		}
+		if maxCols > sc.depths {
+			sc.depths = maxCols
+		}
+		sc.rowsBack = make(bitset.Set, sc.depths*sc.rowWords)
+		sc.candBack = make(bitset.Set, sc.depths*sc.colWords)
+		sc.cvalBack = make([]int, sc.depths*sc.nCols)
+		sc.rows = make([]bitset.Set, sc.depths)
+		sc.cand = make([]bitset.Set, sc.depths)
+		sc.cvals = make([][]int, sc.depths)
+		sc.cols = make([]int64, sc.depths)
+		sc.dcols = make([]int, sc.depths)
+		sc.kcost = make([]int, sc.depths)
+	}
+	// Reslice the per-depth views to this search's exact widths so
+	// bitset operations agree with the matrix index's sets.
+	for d := 0; d < sc.depths; d++ {
+		sc.rows[d] = sc.rowsBack[d*sc.rowWords : d*sc.rowWords+rw]
+		sc.cand[d] = sc.candBack[d*sc.colWords : d*sc.colWords+cw]
+		sc.cvals[d] = sc.cvalBack[d*sc.nCols : d*sc.nCols+nCols]
+	}
+	if bitset.Words(cubeBits) > len(sc.seen) {
+		sc.seen = bitset.New(cubeBits)
+	}
 }
 
 // CompareRects orders rectangles by descending gain with the same

@@ -12,6 +12,7 @@ package sop
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -270,16 +271,18 @@ func (c Cube) Format(name func(Var) string) string {
 }
 
 // Key returns a compact string usable as a map key for the cube.
+// Interning columns by cube key sits on the matrix-build hot path, so
+// this avoids fmt and encodes digits directly.
 func (c Cube) Key() string {
 	if len(c) == 0 {
 		return ""
 	}
-	var b strings.Builder
+	buf := make([]byte, 0, 8*len(c))
 	for i, l := range c {
 		if i > 0 {
-			b.WriteByte('.')
+			buf = append(buf, '.')
 		}
-		fmt.Fprintf(&b, "%d", int32(l))
+		buf = strconv.AppendInt(buf, int64(int32(l)), 10)
 	}
-	return b.String()
+	return string(buf)
 }
