@@ -1,0 +1,24 @@
+// Command repolint is the repository's multichecker: it runs the
+// project-specific analyzer suite (index invalidation, lock
+// discipline, map iteration order, vtime charging) over the packages
+// named on the command line, defaulting to ./... — the same invocation
+// CI uses as a required job.
+//
+// It must be run from inside this module (dependency type-checking
+// resolves in-module imports through the go command):
+//
+//	go run ./cmd/repolint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage errors.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzers"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Stdout, os.Args[1:], analyzers.All()...))
+}

@@ -1,0 +1,100 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built only on the standard
+// library so the repository's project-specific analyzers (cmd/repolint)
+// need no external dependencies. It mirrors the x/tools API shape —
+// Analyzer, Pass, Diagnostic — closely enough that the analyzers could
+// be ported to the real framework mechanically if a vendored x/tools
+// ever becomes available.
+//
+// Analyzers are package-local: a Pass sees one package's syntax and
+// types and reports diagnostics against it. Cross-package facts are
+// deliberately out of scope; every invariant checked by this repo's
+// analyzers (index invalidation, lock discipline, map iteration order,
+// vtime charging) is expressible within the declaring package because
+// the checked types and their annotations live together.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run inspects the Pass and reports
+// diagnostics through it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// repolint:allow suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer
+	// enforces.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked form to an
+// analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees, parsed with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns
+// the raw (unsuppressed) diagnostics.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		diags:     &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file position for stable
+// output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

@@ -1,0 +1,135 @@
+// Package analysistest is a miniature of
+// golang.org/x/tools/go/analysis/analysistest, built on the standard
+// library only. A test points Run at a testdata package directory
+// whose files carry golden expectations as trailing comments:
+//
+//	for k := range m { // want `map iteration has nondeterministic`
+//
+// Each `// want "rx"` (quoted or backquoted regexp; several may share
+// one comment) must be matched by exactly one diagnostic reported on
+// that line, and every diagnostic must be claimed by a want. Justified
+// //repolint:allow suppressions are applied before matching, exactly
+// as the repolint driver applies them, so suites can also prove the
+// escape hatch works.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads the one package in dir, applies the analyzer, filters
+// suppressions, and diffs the diagnostics against the // want
+// comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read testdata dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	imp := importer.ForCompiler(fset, "source", nil)
+	tpkg, info, err := analysis.Check(fset, imp, files[0].Name.Name, files)
+	if err != nil {
+		t.Fatalf("typecheck testdata: %v", err)
+	}
+	pkg := &analysis.Package{
+		ImportPath: tpkg.Path(),
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := analysis.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("run analyzer: %v", err)
+	}
+	diags = analysis.Filter(fset, files, diags)
+	analysis.SortDiagnostics(fset, diags)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := -1
+		for i, rx := range wants[k] {
+			if rx != nil && rx.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		wants[k][matched] = nil // claimed
+	}
+	var unclaimed []string
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			if rx != nil {
+				unclaimed = append(unclaimed, k.file+":"+strconv.Itoa(k.line)+": no diagnostic matched "+rx.String())
+			}
+		}
+	}
+	sort.Strings(unclaimed)
+	for _, u := range unclaimed {
+		t.Errorf("%s", u)
+	}
+}

@@ -1,0 +1,22 @@
+// Package analyzers registers the repository's analyzer suite in one
+// place, so cmd/repolint and any future driver agree on what "all
+// checks" means.
+package analyzers
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzers/indexinvalidate"
+	"repro/internal/analysis/analyzers/lockdiscipline"
+	"repro/internal/analysis/analyzers/maporder"
+	"repro/internal/analysis/analyzers/vtimecharge"
+)
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		indexinvalidate.Analyzer,
+		lockdiscipline.Analyzer,
+		maporder.Analyzer,
+		vtimecharge.Analyzer,
+	}
+}

@@ -1,0 +1,12 @@
+package indexinvalidate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/analyzers/indexinvalidate"
+)
+
+func TestIndexInvalidate(t *testing.T) {
+	analysistest.Run(t, indexinvalidate.Analyzer, "testdata/src/a")
+}

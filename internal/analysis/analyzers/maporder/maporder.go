@@ -1,0 +1,94 @@
+// Package maporder forbids order-dependent map iteration in packages
+// whose package doc carries "//repolint:determinism-critical". Go
+// randomizes map range order per iteration, so any map loop whose body
+// does real work can perturb the bit-for-bit Figure 1 enumeration
+// order and BestK tie-breaking that the paper's speedup comparisons
+// (and this repo's golden tests) rely on.
+//
+// The one permitted shape is the canonical sort idiom's first half — a
+// key-collection loop, `for k := range m { s = append(s, k) }` — whose
+// nondeterminism is erased by the sort that follows. Anything else
+// needs an explicit, justified suppression.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags map iteration in determinism-critical packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: `no map iteration in //repolint:determinism-critical packages unless keys are sorted
+
+Flags every "for range" over a map except the bare key-collection loop
+(append the key to a slice, then sort). Deterministic enumeration order
+is what makes the parallel searchers' results comparable run-to-run.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageAnnotated(pass.Files, "determinism-critical") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollection(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"map iteration has nondeterministic order in a determinism-critical package; collect the keys, sort, and range the slice")
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollection recognizes `for k := range m { s = append(s, k) }`:
+// a single-statement body appending exactly the key to a slice, with
+// the map's values untouched. Order is erased by the caller's sort.
+func isKeyCollection(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[fn].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.TypesInfo.Uses[arg] == pass.TypesInfo.Defs[key]
+}

@@ -1,0 +1,54 @@
+// Package a exercises the maporder analyzer in an annotated package:
+// flagged map loops, the permitted key-collection idiom, and a
+// justified suppression.
+//
+//repolint:determinism-critical
+package a
+
+import "sort"
+
+// Bad iterates a map doing real work: flagged.
+func Bad(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want `map iteration has nondeterministic order`
+		s += v
+	}
+	return s
+}
+
+// BadKeyValue consumes both key and value: flagged even though the
+// body is trivial.
+func BadKeyValue(m map[int]int) int {
+	s := 0
+	for k, v := range m { // want `map iteration has nondeterministic order`
+		s += k * v
+	}
+	return s
+}
+
+// Good collects the keys, sorts, and iterates the slice — the
+// canonical deterministic idiom; the collection loop is permitted.
+func Good(m map[int]int) int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	s := 0
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// Allowed documents why order cannot matter here.
+func Allowed(m map[int]bool) int {
+	n := 0
+	//repolint:allow maporder -- pure counting; the result is order-insensitive
+	for k := range m {
+		if k > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,50 @@
+// Package a exercises the vtimecharge analyzer: charged and uncharged
+// shared-state access, per-closure attribution, the shared-type method
+// exemption, and an amortization suppression.
+package a
+
+// Table is the shared concurrent state whose access cost must be
+// modeled.
+//
+//repolint:shared-state
+type Table struct{ vals map[int]int }
+
+// Value is a method of the shared type itself: charging is the
+// caller's duty, so methods are exempt.
+func (t *Table) Value(k int) int { return t.vals[k] }
+
+// Set is likewise exempt.
+func (t *Table) Set(k, v int) { t.vals[k] = v }
+
+// Clock mimics the vtime machine.
+type Clock struct{ c int64 }
+
+// ChargeLock charges one modeled lock acquire.
+func (c *Clock) ChargeLock(w int) { c.c += 8 }
+
+// Charged pairs the state call with a modeled charge: ok.
+func Charged(t *Table, c *Clock, w int) int {
+	c.ChargeLock(w)
+	return t.Value(w)
+}
+
+// Uncharged touches the table with no modeled cost.
+func Uncharged(t *Table) int { // want `Uncharged calls Table.Value but models no virtual-time cost`
+	return t.Value(1)
+}
+
+// Closure shows that a charge in the enclosing function does not
+// excuse a closure: each function body is charged on its own.
+func Closure(t *Table, c *Clock) func() int {
+	c.ChargeLock(0)
+	return func() int { // want `function literal calls Table.Value but models no virtual-time cost`
+		return t.Value(2)
+	}
+}
+
+// Amortized documents where the cost is modeled instead.
+//
+//repolint:allow vtimecharge -- cost amortized into the caller's per-visit search charge
+func Amortized(t *Table) int {
+	return t.Value(3)
+}

@@ -1,0 +1,120 @@
+// Package vtimecharge keeps the §5 lock-cost model honest: every
+// function (or closure) that calls a method on a shared-state type —
+// a struct annotated "//repolint:shared-state", like core.StateTable —
+// must also charge a modeled virtual-time cost in the same function
+// body (any call to a method whose name starts with "Charge"), or
+// carry a justified suppression explaining where the cost is
+// amortized. Without this, code can grow new state-table touches whose
+// real synchronization cost silently never reaches the worker clocks,
+// and the reproduced speedup tables drift away from the code they
+// claim to measure.
+//
+// Methods of the shared-state type itself are exempt: charging is the
+// calling worker's duty, because only the caller knows its worker id.
+package vtimecharge
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags uncharged shared-state access.
+var Analyzer = &analysis.Analyzer{
+	Name: "vtimecharge",
+	Doc: `state-table call sites must charge modeled vtime in the same function
+
+Any function or closure calling a //repolint:shared-state method must
+also call a Charge* method on the virtual machine clock (or carry
+"//repolint:allow vtimecharge -- <where the cost is modeled>"), so the
+paper's lock-cost model stays welded to the code.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	shared := map[*types.Named]bool{}
+	for _, tgt := range analysis.AnnotatedTypes(pass, "shared-state") {
+		shared[tgt.Named] = true
+	}
+	if len(shared) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, shared, fd.Name.Pos(), fd.Name.Name, fd.Body, isSharedMethod(pass, shared, fd))
+		}
+	}
+	return nil
+}
+
+// isSharedMethod reports whether fd is a method of an annotated type.
+func isSharedMethod(pass *analysis.Pass, shared map[*types.Named]bool, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && shared[n]
+}
+
+// checkFunc scans one function body, recursing into nested function
+// literals so each closure is charged (or excused) on its own.
+func checkFunc(pass *analysis.Pass, shared map[*types.Named]bool, pos token.Pos, name string, body *ast.BlockStmt, exempt bool) {
+	var stateCall *ast.SelectorExpr
+	hasCharge := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, shared, lit.Pos(), "function literal", lit.Body, false)
+			return false // the literal's calls are its own responsibility
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if strings.HasPrefix(sel.Sel.Name, "Charge") {
+			hasCharge = true
+		}
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if n, ok := recv.(*types.Named); ok && shared[n] && stateCall == nil {
+				stateCall = sel
+			}
+		}
+		return true
+	})
+	if exempt || stateCall == nil || hasCharge {
+		return
+	}
+	pass.Reportf(pos,
+		"%s calls %s.%s but models no virtual-time cost; add a Machine.Charge* call in this function or annotate `//repolint:allow vtimecharge -- <where the cost is amortized>`",
+		name, typeName(pass, stateCall), stateCall.Sel.Name)
+}
+
+func typeName(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	s := pass.TypesInfo.Selections[sel]
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,12 @@
+package vtimecharge_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/analyzers/vtimecharge"
+)
+
+func TestVtimeCharge(t *testing.T) {
+	analysistest.Run(t, vtimecharge.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestCommentAnnotation(t *testing.T) {
+	_, f := parseSrc(t, `// Package p does things.
+//
+//repolint:determinism-critical
+package p
+`)
+	if !PackageAnnotated([]*ast.File{f}, "determinism-critical") {
+		t.Error("package annotation not detected")
+	}
+	// A longer key must not match a shorter query (shared-state vs
+	// shared).
+	if PackageAnnotated([]*ast.File{f}, "determinism") {
+		t.Error("prefix of an annotation key must not match")
+	}
+}
+
+func TestSuppressionsAndFilter(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+func a() {
+	_ = 1 //repolint:allow check -- justified here
+	_ = 2
+	//repolint:allow check
+	_ = 3
+}
+`)
+	sups := Suppressions([]*ast.File{f})
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2", len(sups))
+	}
+	if sups[0].Reason != "justified here" || sups[1].Reason != "" {
+		t.Fatalf("bad reasons: %+v", sups)
+	}
+
+	// A justified suppression reaches its own line and the next, so
+	// the diagnostics on lines 4 and 5 are both covered by the
+	// trailing comment on line 4. The reasonless allow on line 6 must
+	// NOT cover line 7, and must be reported itself.
+	mk := func(line int) Diagnostic {
+		file := fset.File(f.Pos())
+		return Diagnostic{Pos: file.LineStart(line), Analyzer: "check", Message: "boom"}
+	}
+	got := Filter(fset, []*ast.File{f}, []Diagnostic{mk(4), mk(5), mk(7)})
+	var msgs []string
+	for _, d := range got {
+		msgs = append(msgs, fset.Position(d.Pos).String()+" "+d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (reasonless-allow report + line 7):\n%s", len(got), joined)
+	}
+	if !strings.Contains(joined, "without a reason") {
+		t.Errorf("missing reasonless-allow diagnostic:\n%s", joined)
+	}
+	for _, gone := range []string{"x.go:4", "x.go:5"} {
+		if strings.Contains(joined, gone+":") {
+			t.Errorf("diagnostic at %s should have been suppressed:\n%s", gone, joined)
+		}
+	}
+	if !strings.Contains(joined, "x.go:7") {
+		t.Errorf("missing surviving diagnostic at x.go:7:\n%s", joined)
+	}
+}

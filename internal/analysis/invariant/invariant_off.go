@@ -1,0 +1,13 @@
+//go:build !invariants
+
+// Package invariant (default build): checking is compiled out. See
+// invariant_on.go for the real documentation; this stub keeps Enabled
+// a constant false so `if invariant.Enabled { ... }` blocks and Assert
+// calls vanish from release binaries.
+package invariant
+
+// Enabled is false in the default build; see the invariants build tag.
+const Enabled = false
+
+// Assert is a no-op in the default build.
+func Assert(bool, string, ...any) {}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// Main is the multichecker driver behind cmd/repolint: it loads the
+// packages named by the command-line patterns (default "./..."),
+// applies every analyzer to every package, filters justified
+// suppressions, and prints the surviving diagnostics. It returns the
+// process exit code: 0 when the tree is clean, 1 on findings, 2 on
+// load errors.
+func Main(out io.Writer, args []string, analyzers ...*Analyzer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fs.Usage = func() {
+		fmt.Fprintf(out, "usage: repolint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(patterns)
+	if err != nil {
+		fmt.Fprintf(out, "repolint: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			ds, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(out, "repolint: %v\n", err)
+				return 2
+			}
+			diags = append(diags, ds...)
+		}
+		diags = Filter(pkg.Fset, pkg.Files, diags)
+		SortDiagnostics(pkg.Fset, diags)
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -15,10 +15,18 @@
 // All three run real goroutine workers over the virtual-time machine
 // model of internal/vtime; see DESIGN.md for why speedups are
 // measured in virtual time on this host.
+//
+// The package is determinism-critical: identical inputs must walk
+// identical search paths so the paper's table comparisons are
+// bit-for-bit reproducible (DESIGN.md §7).
+//
+//repolint:determinism-critical
 package core
 
 import (
 	"sync"
+
+	"repro/internal/analysis/invariant"
 )
 
 // CubeState is the lifecycle of a function cube during concurrent
@@ -52,6 +60,25 @@ func (s CubeState) String() string {
 	return "?"
 }
 
+// legalTransition reports whether Table 5 allows old → next. FREE and
+// COVERED trade places and either may be divided; DIVIDED is
+// absorbing — a divided cube's value is gone permanently, so any
+// transition out of it would double-count literals.
+func legalTransition(old, next CubeState) bool {
+	switch {
+	case old == next:
+		return true
+	case old == Free && next == Covered:
+		return true
+	case old == Covered && next == Free:
+		return true
+	case old == Divided:
+		return false
+	default: // Free/Covered → Divided
+		return next == Divided
+	}
+}
+
 type cubeInfo struct {
 	state   CubeState
 	trueval int
@@ -62,14 +89,18 @@ type cubeInfo struct {
 // cube (by global CubeID), the current value, the saved true value,
 // and the speculating owner. It is safe for concurrent use; workers
 // pay a modeled lock cost via their machine clocks (charged by the
-// callers, which know their worker ids).
+// callers, which know their worker ids — repolint's vtimecharge
+// analyzer holds callers to that).
+//
+//repolint:shared-state
 type StateTable struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// cubes is guarded by mu.
 	cubes map[int64]*cubeInfo
 	// ownerCheck mirrors the paper's owner-qualified COVERED state.
 	// When disabled (ablation), a covered cube reads as zero even
 	// to its owner, reintroducing the order-dependent bias of the
-	// {(1,2)(4,5)} example in §5.3.
+	// {(1,2)(4,5)} example in §5.3. It is guarded by mu.
 	ownerCheck bool
 }
 
@@ -79,7 +110,14 @@ func NewStateTable() *StateTable {
 }
 
 // SetOwnerCheck toggles the owner-qualified value rule (ablation).
-func (st *StateTable) SetOwnerCheck(on bool) { st.ownerCheck = on }
+// Like every other table access it must hold mu: the L-shaped workers
+// read ownerCheck on every Value call, so an unsynchronized toggle is
+// a data race even though the write is a single bool.
+func (st *StateTable) SetOwnerCheck(on bool) {
+	st.mu.Lock()
+	st.ownerCheck = on
+	st.mu.Unlock()
+}
 
 // Value returns the literal value worker p may claim for cube id
 // whose uncovered worth is weight: FREE cubes are worth their weight,
@@ -89,6 +127,16 @@ func (st *StateTable) Value(p int, id int64, weight int) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.valueLocked(p, id, weight)
+}
+
+// setStateLocked performs one cube-state transition, asserting Table 5
+// legality when the invariants build tag is on. Callers hold st.mu.
+func (st *StateTable) setStateLocked(id int64, ci *cubeInfo, next CubeState) {
+	if invariant.Enabled {
+		invariant.Assert(legalTransition(ci.state, next),
+			"illegal Table 5 transition %v -> %v for cube %d (owner %d)", ci.state, next, id, ci.owner)
+	}
+	ci.state = next
 }
 
 func (st *StateTable) valueLocked(p int, id int64, weight int) int {
@@ -122,7 +170,7 @@ func (st *StateTable) Cover(p int, ids []int64, weights []int) {
 			continue
 		}
 		if ci.state == Free {
-			ci.state = Covered
+			st.setStateLocked(id, ci, Covered)
 			ci.trueval = weights[i]
 			ci.owner = p
 		}
@@ -136,7 +184,7 @@ func (st *StateTable) Release(p int, ids []int64) {
 	defer st.mu.Unlock()
 	for _, id := range ids {
 		if ci, ok := st.cubes[id]; ok && ci.state == Covered && ci.owner == p {
-			ci.state = Free
+			st.setStateLocked(id, ci, Free)
 		}
 	}
 }
@@ -152,7 +200,7 @@ func (st *StateTable) Divide(ids []int64) {
 			st.cubes[id] = &cubeInfo{state: Divided}
 			continue
 		}
-		ci.state = Divided
+		st.setStateLocked(id, ci, Divided)
 		ci.trueval = 0
 	}
 }
@@ -189,20 +237,19 @@ func (st *StateTable) Claim(p int, ids []int64, weights []int, accept func(total
 		// workers can use the cubes.
 		for _, id := range ids {
 			if ci, ok := st.cubes[id]; ok && ci.state == Covered && ci.owner == p {
-				ci.state = Free
+				st.setStateLocked(id, ci, Free)
 			}
 		}
 		return total, false
 	}
-	for i, id := range ids {
+	for _, id := range ids {
 		ci, ok := st.cubes[id]
 		if !ok {
 			st.cubes[id] = &cubeInfo{state: Divided}
 			continue
 		}
-		ci.state = Divided
+		st.setStateLocked(id, ci, Divided)
 		ci.trueval = 0
-		_ = weights[i]
 	}
 	return total, true
 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStateTableStress hammers one StateTable from many workers racing
+// Cover/Release/Value/Claim on overlapping cube sets while a
+// coordinator concurrently toggles the owner check, the way the
+// L-shaped ablation harness does. It checks the property the §5.3
+// state machine exists to provide: of all workers speculating on
+// overlapping rectangles, the value of each cube is banked at most
+// once, so the total banked across all successful claims never exceeds
+// the total true value of the cubes. Run it with -race (CI does) to
+// catch unsynchronized access, and with -tags invariants to assert
+// every transition against Table 5.
+func TestStateTableStress(t *testing.T) {
+	const (
+		workers  = 8
+		cubes    = 64
+		opsEach  = 2000
+		claimLen = 6
+	)
+	weight := func(id int64) int { return 1 + int(id%5) }
+	trueTotal := 0
+	for id := int64(1); id <= cubes; id++ {
+		trueTotal += weight(id)
+	}
+
+	st := NewStateTable()
+	var banked atomic.Int64
+
+	// Coordinator racing the ablation toggle against the workers: this
+	// is the access pattern that used to be an unsynchronized bool
+	// write.
+	stop := make(chan struct{})
+	var togglerWG sync.WaitGroup
+	togglerWG.Add(1)
+	go func() {
+		defer togglerWG.Done()
+		on := false
+		for {
+			select {
+			case <-stop:
+				st.SetOwnerCheck(true)
+				return
+			default:
+				st.SetOwnerCheck(on)
+				on = !on
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			pick := func() ([]int64, []int) {
+				n := 1 + rng.Intn(claimLen)
+				ids := make([]int64, n)
+				weights := make([]int, n)
+				for i := range ids {
+					ids[i] = 1 + rng.Int63n(cubes)
+					weights[i] = weight(ids[i])
+				}
+				return ids, weights
+			}
+			for op := 0; op < opsEach; op++ {
+				ids, weights := pick()
+				switch rng.Intn(4) {
+				case 0:
+					st.Cover(w, ids, weights)
+				case 1:
+					st.Release(w, ids)
+				case 2:
+					for i, id := range ids {
+						if v := st.Value(w, id, weights[i]); v < 0 || v > weights[i] {
+							t.Errorf("worker %d: cube %d value %d outside [0,%d]", w, id, v, weights[i])
+							return
+						}
+					}
+				default:
+					if total, ok := st.Claim(w, ids, weights, func(total int) bool { return total > 0 }); ok {
+						banked.Add(int64(total))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	togglerWG.Wait()
+
+	if got := banked.Load(); got > int64(trueTotal) {
+		t.Fatalf("workers banked %d literals from cubes worth %d in total: some cube's value was claimed twice", got, trueTotal)
+	}
+	for id := int64(1); id <= cubes; id++ {
+		if s := st.State(id); s != Free && s != Covered && s != Divided {
+			t.Fatalf("cube %d ended in undefined state %v", id, s)
+		}
+	}
+}

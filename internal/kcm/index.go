@@ -3,6 +3,7 @@ package kcm
 import (
 	"sort"
 
+	"repro/internal/analysis/invariant"
 	"repro/internal/bitset"
 )
 
@@ -95,6 +96,9 @@ func (m *Matrix) Index() *Index {
 			ix.RowCols[i].Set(j)
 			ix.ColRows[j].Set(i)
 		}
+	}
+	if invariant.Enabled {
+		checkIndex(m, ix)
 	}
 	m.index = ix
 	return ix

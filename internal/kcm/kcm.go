@@ -8,6 +8,12 @@
 // (§5.2): row, column and cube identifiers drawn by processor p start
 // at p·Stride+1, so concurrently generated matrices carry globally
 // consistent labels no matter the interleaving.
+//
+// The package is determinism-critical: label order drives the Figure 1
+// enumeration, so iteration order must never depend on Go map order
+// (DESIGN.md §7).
+//
+//repolint:determinism-critical
 package kcm
 
 import (
@@ -72,7 +78,12 @@ type Col struct {
 	unsorted bool
 }
 
-// Matrix is a sparse co-kernel cube matrix.
+// Matrix is a sparse co-kernel cube matrix. Every structural mutation
+// must drop the cached derived views (sortedCols, the dense index) via
+// invalidate; repolint's indexinvalidate analyzer enforces this for
+// all exported entry points.
+//
+//repolint:invalidate invalidate
 type Matrix struct {
 	rows     []*Row
 	cols     []*Col

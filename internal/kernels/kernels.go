@@ -2,6 +2,12 @@
 // expressions: the cube-free primary divisors K(f) = {f/C cube-free}
 // that algebraic factorization searches over (paper §2; Brayton &
 // McMullen's recursive kerneling algorithm).
+//
+// The package is determinism-critical: kernel enumeration order feeds
+// the offset labeling scheme, so iteration order must never depend on
+// Go map order (DESIGN.md §7).
+//
+//repolint:determinism-critical
 package kernels
 
 import (

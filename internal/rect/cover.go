@@ -1,6 +1,7 @@
 package rect
 
 import (
+	"repro/internal/analysis/invariant"
 	"repro/internal/bitset"
 	"repro/internal/kcm"
 )
@@ -9,7 +10,11 @@ import (
 // ids are contiguous within each processor's label band, so a bitset
 // keyed directly by id is compact (≈75 KB at six bands) and makes
 // membership a single bit test. The L-shaped algorithm shares one
-// CubeSet across all its L-matrices.
+// CubeSet across all its L-matrices. Every mutation must bump version
+// — the invalidation hook sibling Covers watch — which repolint's
+// indexinvalidate analyzer enforces.
+//
+//repolint:invalidate version
 type CubeSet struct {
 	bits bitset.Set
 	// version counts mutations, letting Covers on a shared set
@@ -126,8 +131,25 @@ func (c *Cover) colValue(ix *kcm.Index, dc int) int {
 		c.version = c.set.version
 	}
 	if c.colFresh.Test(dc) {
-		return c.colVal[dc]
+		v := c.colVal[dc]
+		if invariant.Enabled {
+			invariant.Assert(v == c.recompute(ix, dc),
+				"stale column-value cache: dense col %d cached %d, recomputed %d (missed Mark invalidation?)",
+				dc, v, c.recompute(ix, dc))
+		}
+		return v
 	}
+	total := c.recompute(ix, dc)
+	c.colVal[dc] = total
+	c.colFresh.Set(dc)
+	return total
+}
+
+// recompute sums dense column dc's claimable value over its full row
+// set, ignoring the cache. It is the cache's ground truth: colValue
+// fills from it, and the invariants build cross-checks every cache hit
+// against it.
+func (c *Cover) recompute(ix *kcm.Index, dc int) int {
 	total := 0
 	for _, r := range ix.Cols[dc].RowIDs {
 		dr, _ := ix.RowPos(r)
@@ -138,8 +160,6 @@ func (c *Cover) colValue(ix *kcm.Index, dc int) int {
 			}
 		}
 	}
-	c.colVal[dc] = total
-	c.colFresh.Set(dc)
 	return total
 }
 

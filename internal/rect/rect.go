@@ -17,6 +17,12 @@
 // keeps the enumeration — and therefore every tie-break and the §3
 // leftmost-column decomposition — bit-for-bit identical to the
 // retained reference implementation (see reference.go).
+//
+// The package is determinism-critical: enumeration order is the
+// contract (DESIGN.md §7), so map iteration order must never leak
+// into results.
+//
+//repolint:determinism-critical
 package rect
 
 import (

@@ -71,10 +71,13 @@ type Machine struct {
 	model  Model
 	clocks []int64 // accessed atomically
 
-	barMu    sync.Mutex
+	barMu sync.Mutex
+	// barCount is guarded by barMu.
 	barCount int
-	barGen   int
-	barCond  *sync.Cond
+	// barGen is guarded by barMu.
+	barGen  int
+	barCond *sync.Cond
+	// barriers is guarded by barMu.
 	barriers int64
 }
 
