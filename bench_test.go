@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -76,12 +77,12 @@ func BenchmarkTable2Replicated(b *testing.B) {
 	opt.BatchK = 1
 	opt.Rect.MaxVisits = 8000
 	nw := benchCircuit(b, "misex3")
-	base := core.Replicated(nw.CloneDetached(), 1, opt)
+	base := core.Replicated(context.Background(), nw.CloneDetached(), 1, opt)
 	for _, p := range []int{2, 4, 6} {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
 			var res core.RunResult
 			for i := 0; i < b.N; i++ {
-				res = core.Replicated(nw.CloneDetached(), p, opt)
+				res = core.Replicated(context.Background(), nw.CloneDetached(), p, opt)
 			}
 			b.ReportMetric(float64(res.LC), "LC")
 			b.ReportMetric(core.Speedup(base, res), "speedup")
@@ -97,12 +98,12 @@ func BenchmarkTable2Replicated(b *testing.B) {
 // speedups of the three and the worst quality.
 func BenchmarkTable3Partitioned(b *testing.B) {
 	opt := benchOpt()
-	base := core.Sequential(benchCircuit(b, "dalu"), opt)
+	base := core.Sequential(context.Background(), benchCircuit(b, "dalu"), opt)
 	for _, p := range []int{2, 4, 6} {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
 			var res core.RunResult
 			for i := 0; i < b.N; i++ {
-				res = core.Partitioned(benchCircuit(b, "dalu"), p, opt)
+				res = core.Partitioned(context.Background(), benchCircuit(b, "dalu"), p, opt)
 			}
 			b.ReportMetric(float64(res.LC), "LC")
 			b.ReportMetric(core.Speedup(base, res), "speedup")
@@ -135,12 +136,12 @@ func BenchmarkTable4LShapedSequential(b *testing.B) {
 // expect speedups between Tables 2 and 3 with near-sequential LC.
 func BenchmarkTable6LShaped(b *testing.B) {
 	opt := benchOpt()
-	base := core.Sequential(benchCircuit(b, "dalu"), opt)
+	base := core.Sequential(context.Background(), benchCircuit(b, "dalu"), opt)
 	for _, p := range []int{2, 4, 6} {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
 			var res core.RunResult
 			for i := 0; i < b.N; i++ {
-				res = core.LShaped(benchCircuit(b, "dalu"), p, opt)
+				res = core.LShaped(context.Background(), benchCircuit(b, "dalu"), p, opt)
 			}
 			b.ReportMetric(float64(res.LC), "LC")
 			b.ReportMetric(core.Speedup(base, res), "speedup")
@@ -155,7 +156,7 @@ func BenchmarkTable6LShaped(b *testing.B) {
 // root-column slice (of 4).
 func BenchmarkFig1SearchSplit(b *testing.B) {
 	nw := benchCircuit(b, "misex3")
-	m := kcm.Build(nw, nw.NodeVars(), kernels.Options{})
+	m := kcm.Build(context.Background(), nw, nw.NodeVars(), kernels.Options{})
 	cfg := rect.Config{MaxCols: 5, MaxVisits: 1 << 20}
 	b.Run("full", func(b *testing.B) {
 		b.ReportAllocs()
@@ -181,7 +182,7 @@ func BenchmarkFig2MatrixBuild(b *testing.B) {
 	nodes := nw.NodeVars()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		kcm.Build(nw, nodes, kernels.Options{})
+		kcm.Build(context.Background(), nw, nodes, kernels.Options{})
 	}
 }
 
@@ -228,7 +229,7 @@ func BenchmarkAblationZeroCostCheck(b *testing.B) {
 			opt.DisableZeroCostCheck = disable
 			var res core.RunResult
 			for i := 0; i < b.N; i++ {
-				res = core.LShaped(benchCircuit(b, "misex3"), 4, opt)
+				res = core.LShaped(context.Background(), benchCircuit(b, "misex3"), 4, opt)
 			}
 			b.ReportMetric(float64(res.LC), "LC")
 		})
@@ -248,7 +249,7 @@ func BenchmarkAblationOwnerCheck(b *testing.B) {
 			opt.DisableOwnerCheck = disable
 			var res core.RunResult
 			for i := 0; i < b.N; i++ {
-				res = core.LShaped(benchCircuit(b, "misex3"), 4, opt)
+				res = core.LShaped(context.Background(), benchCircuit(b, "misex3"), 4, opt)
 			}
 			b.ReportMetric(float64(res.LC), "LC")
 		})
@@ -264,7 +265,7 @@ func BenchmarkAblationBatchK(b *testing.B) {
 			opt.BatchK = k
 			var res core.RunResult
 			for i := 0; i < b.N; i++ {
-				res = core.Sequential(benchCircuit(b, "misex3"), opt)
+				res = core.Sequential(context.Background(), benchCircuit(b, "misex3"), opt)
 			}
 			b.ReportMetric(float64(res.LC), "LC")
 		})
@@ -280,7 +281,7 @@ func BenchmarkAblationSearchCaps(b *testing.B) {
 			opt.Rect.MaxVisits = visits
 			var res core.RunResult
 			for i := 0; i < b.N; i++ {
-				res = core.Sequential(benchCircuit(b, "misex3"), opt)
+				res = core.Sequential(context.Background(), benchCircuit(b, "misex3"), opt)
 			}
 			b.ReportMetric(float64(res.LC), "LC")
 		})
@@ -296,7 +297,7 @@ func BenchmarkAblationWallclock(b *testing.B) {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
 			var res core.RunResult
 			for i := 0; i < b.N; i++ {
-				res = core.Partitioned(benchCircuit(b, "misex3"), p, opt)
+				res = core.Partitioned(context.Background(), benchCircuit(b, "misex3"), p, opt)
 			}
 			b.ReportMetric(float64(res.VirtualTime), "vtime")
 		})
@@ -312,7 +313,7 @@ func BenchmarkKernelExtractCall(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		nw := benchCircuit(b, "misex3")
-		extract.KernelExtract(nw, nil, extract.Options{Rect: opt.Rect, BatchK: opt.BatchK})
+		extract.KernelExtract(context.Background(), nw, nil, extract.Options{Rect: opt.Rect, BatchK: opt.BatchK})
 	}
 }
 

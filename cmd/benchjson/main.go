@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,7 +56,7 @@ func main() {
 		Rect:   rect.Config{MaxCols: 5, MaxVisits: 50000},
 		BatchK: 16,
 	}
-	m := kcm.Build(misex3, misex3.NodeVars(), kernels.Options{})
+	m := kcm.Build(context.Background(), misex3, misex3.NodeVars(), kernels.Options{})
 	slices := rect.SplitColumns(m, 4)
 
 	results := []Result{
@@ -80,14 +81,14 @@ func main() {
 				// BenchmarkKernelExtractCall, keeping the JSON
 				// comparable with `go test -bench`.
 				nw := circuit("misex3")
-				extract.KernelExtract(nw, nil, extractOpt)
+				extract.KernelExtract(context.Background(), nw, nil, extractOpt)
 			}
 		}),
 		run("Fig2MatrixBuild", func(b *testing.B) {
 			b.ReportAllocs()
 			nodes := dalu.NodeVars()
 			for i := 0; i < b.N; i++ {
-				kcm.Build(dalu, nodes, kernels.Options{})
+				kcm.Build(context.Background(), dalu, nodes, kernels.Options{})
 			}
 		}),
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -56,7 +57,7 @@ func main() {
 	var base core.RunResult
 	if *baseline && *algo != "seq" {
 		ref := nw.CloneDetached()
-		base = core.Sequential(ref, opt)
+		base = core.Sequential(context.Background(), ref, opt)
 		fmt.Printf("sequential baseline: LC %d, vtime %d (wall %v)\n",
 			base.LC, base.VirtualTime, base.WallClock.Round(1e6))
 	}
@@ -64,13 +65,13 @@ func main() {
 	var res core.RunResult
 	switch *algo {
 	case "seq":
-		res = core.Sequential(nw, opt)
+		res = core.Sequential(context.Background(), nw, opt)
 	case "repl":
-		res = core.Replicated(nw, *p, opt)
+		res = core.Replicated(context.Background(), nw, *p, opt)
 	case "part":
-		res = core.Partitioned(nw, *p, opt)
+		res = core.Partitioned(context.Background(), nw, *p, opt)
 	case "lshape":
-		res = core.LShaped(nw, *p, opt)
+		res = core.LShaped(context.Background(), nw, *p, opt)
 	default:
 		fmt.Fprintf(os.Stderr, "factor: unknown algorithm %q\n", *algo)
 		os.Exit(1)

@@ -1,0 +1,297 @@
+// Command factorctl is the client CLI for factord.
+//
+// Usage:
+//
+//	factorctl [-addr URL] submit [-algo seq|repl|part|lshape] [-p N]
+//	          [-format blif|eqn] [-name NAME] [-deadline-ms N]
+//	          [-verify] [-wait] [-interval D] FILE
+//	factorctl [-addr URL] status JOB
+//	factorctl [-addr URL] wait [-interval D] JOB
+//	factorctl [-addr URL] result [-format blif|eqn] [-o FILE] JOB
+//	factorctl [-addr URL] cancel JOB
+//	factorctl [-addr URL] stats
+//
+// The server address defaults to $FACTORD_ADDR, then
+// http://127.0.0.1:8455.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+func defaultAddr() string {
+	if a := os.Getenv("FACTORD_ADDR"); a != "" {
+		return a
+	}
+	return "http://127.0.0.1:8455"
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: factorctl [-addr URL] {submit|status|wait|result|cancel|stats} ...\n")
+	os.Exit(2)
+}
+
+func main() {
+	var addr string
+	flag.StringVar(&addr, "addr", defaultAddr(), "factord base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := &client{base: strings.TrimRight(addr, "/")}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(c, args)
+	case "status":
+		err = cmdStatus(c, args)
+	case "wait":
+		err = cmdWait(c, args)
+	case "result":
+		err = cmdResult(c, args)
+	case "cancel":
+		err = cmdCancel(c, args)
+	case "stats":
+		err = cmdStats(c, args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "factorctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// client wraps the factord HTTP API.
+type client struct {
+	base string
+	http http.Client
+}
+
+// apiErr extracts the server's {"error": ...} body for non-2xx codes.
+func apiErr(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c *client) getJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *client) submit(req service.SubmitRequest) (service.SubmitResponse, error) {
+	var out service.SubmitResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return out, fmt.Errorf("%w (Retry-After: %ss)", apiErr(resp), resp.Header.Get("Retry-After"))
+		}
+		return out, apiErr(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func (c *client) status(id string) (service.Status, error) {
+	var st service.Status
+	err := c.getJSON("/v1/jobs/"+id, &st)
+	return st, err
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func (c *client) waitTerminal(id string, interval time.Duration) (service.Status, error) {
+	for {
+		st, err := c.status(id)
+		if err != nil || st.State.Terminal() {
+			return st, err
+		}
+		time.Sleep(interval)
+	}
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func cmdSubmit(c *client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		algo       = fs.String("algo", "seq", "algorithm: seq|repl|part|lshape")
+		p          = fs.Int("p", 4, "virtual processor count (parallel algorithms)")
+		format     = fs.String("format", "blif", "circuit format: blif|eqn")
+		name       = fs.String("name", "", "circuit name (default: model name / file stem)")
+		deadlineMS = fs.Int("deadline-ms", 0, "job deadline in ms (0: server default)")
+		verify     = fs.Bool("verify", false, "request a post-run equivalence check")
+		wait       = fs.Bool("wait", false, "poll until the job finishes and print its final status")
+		interval   = fs.Duration("interval", 200*time.Millisecond, "poll interval with -wait")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("submit needs exactly one circuit file")
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	req := service.SubmitRequest{
+		Name:    *name,
+		Format:  *format,
+		Circuit: string(data),
+		Spec: service.Spec{
+			Algo:       *algo,
+			P:          *p,
+			DeadlineMS: *deadlineMS,
+			Verify:     *verify,
+		},
+	}
+	sub, err := c.submit(req)
+	if err != nil {
+		return err
+	}
+	if !*wait {
+		printJSON(sub)
+		return nil
+	}
+	st, err := c.waitTerminal(sub.ID, *interval)
+	if err != nil {
+		return err
+	}
+	printJSON(st)
+	if st.State != service.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	return nil
+}
+
+func cmdStatus(c *client, args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("status needs exactly one job id")
+	}
+	st, err := c.status(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	printJSON(st)
+	return nil
+}
+
+func cmdWait(c *client, args []string) error {
+	fs := flag.NewFlagSet("wait", flag.ExitOnError)
+	interval := fs.Duration("interval", 200*time.Millisecond, "poll interval")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("wait needs exactly one job id")
+	}
+	st, err := c.waitTerminal(fs.Arg(0), *interval)
+	if err != nil {
+		return err
+	}
+	printJSON(st)
+	if st.State != service.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	return nil
+}
+
+func cmdResult(c *client, args []string) error {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	format := fs.String("format", "blif", "output format: blif|eqn")
+	out := fs.String("o", "", "write to file instead of stdout")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("result needs exactly one job id")
+	}
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + fs.Arg(0) + "/result?format=" + *format)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func cmdCancel(c *client, args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("cancel needs exactly one job id")
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+fs.Arg(0), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	printJSON(st)
+	return nil
+}
+
+func cmdStats(c *client, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs.Parse(args)
+	var st service.StatsResponse
+	if err := c.getJSON("/v1/stats", &st); err != nil {
+		return err
+	}
+	printJSON(st)
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command factord serves algebraic factorization over HTTP: a bounded
+// job queue with admission control, a worker pool running the
+// sequential and parallel extraction drivers with per-job deadlines
+// and cancellation, an LRU result cache, and a stats endpoint. See
+// DESIGN.md §8 for the API.
+//
+// Usage:
+//
+//	factord [-addr 127.0.0.1:8455] [-workers 4] [-queue 64] [-cache 256]
+//
+// SIGINT/SIGTERM drains gracefully: new submissions get 503, queued
+// jobs are cancelled, in-flight jobs get -grace to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8455", "listen address")
+		workers  = flag.Int("workers", 4, "worker pool size")
+		queueCap = flag.Int("queue", 64, "job queue capacity (admission bound)")
+		cacheCap = flag.Int("cache", 256, "result cache capacity in entries (0 disables)")
+		deadline = flag.Duration("deadline", 60*time.Second, "default per-job deadline")
+		maxDl    = flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
+		grace    = flag.Duration("grace", 10*time.Second, "drain grace for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: factord [flags]\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg := service.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.QueueCap = *queueCap
+	cfg.CacheCap = *cacheCap
+	cfg.DefaultDeadline = *deadline
+	cfg.MaxDeadline = *maxDl
+	cfg.DrainGrace = *grace
+
+	srv := service.NewServer(cfg)
+	srv.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("factord: listening on %s (workers=%d queue=%d cache=%d)",
+		*addr, cfg.Workers, cfg.QueueCap, cfg.CacheCap)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		log.Printf("factord: %v: draining (grace %v)", sig, cfg.DrainGrace)
+		srv.Shutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainGrace+5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("factord: http shutdown: %v", err)
+		}
+		log.Printf("factord: drained")
+	case err := <-errc:
+		log.Fatalf("factord: serve: %v", err)
+	}
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,10 +18,10 @@ import (
 func main() {
 	for _, name := range []string{"dalu", "des", "seq", "spla", "ex1010"} {
 		nw, _ := gen.Benchmark(name)
-		m := kcm.Build(nw, nw.NodeVars(), kernels.Options{})
+		m := kcm.Build(context.Background(), nw, nw.NodeVars(), kernels.Options{})
 		opt := core.Options{Rect: rect.Config{MaxCols: 5, MaxVisits: 20000}, BatchK: 1}
 		t0 := time.Now()
-		r1 := core.Replicated(nw.CloneDetached(), 1, opt)
+		r1 := core.Replicated(context.Background(), nw.CloneDetached(), 1, opt)
 		fmt.Printf("%-8s matrix %5d rows %6d entries | repl p=1 vtime %12d LC %6d wall %v\n",
 			name, len(m.Rows()), m.NumEntries(), r1.VirtualTime, r1.LC, time.Since(t0).Round(time.Millisecond))
 	}

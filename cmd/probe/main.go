@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -21,13 +22,13 @@ func main() {
 	opt := core.Options{Rect: rect.Config{MaxCols: 5, MaxVisits: 100000}, BatchK: 16}
 	for _, name := range names {
 		nw, _ := gen.Benchmark(name)
-		seq := core.Sequential(nw, opt)
+		seq := core.Sequential(context.Background(), nw, opt)
 		fmt.Printf("%-8s seq: LC %d vtime %d wall %v\n", name, seq.LC, seq.VirtualTime, seq.WallClock.Round(1e6))
 		for _, p := range []int{2, 4, 6} {
 			nw, _ := gen.Benchmark(name)
-			lr := core.LShaped(nw, p, opt)
+			lr := core.LShaped(context.Background(), nw, p, opt)
 			nw2, _ := gen.Benchmark(name)
-			pr := core.Partitioned(nw2, p, opt)
+			pr := core.Partitioned(context.Background(), nw2, p, opt)
 			fmt.Printf("  p=%d lshaped: LC %5d vt %9d S %5.2f barriers %d calls %d | part: LC %5d vt %9d S %5.2f\n",
 				p, lr.LC, lr.VirtualTime, core.Speedup(seq, lr), lr.Barriers, lr.Calls,
 				pr.LC, pr.VirtualTime, core.Speedup(seq, pr))

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -26,7 +27,7 @@ func main() {
 	act0, _ := power.Compute(areaNet, 0.5)
 	costBefore := power.NetworkActivityCost(areaNet, act0)
 	lcBefore := areaNet.Literals()
-	core.Sequential(areaNet, core.Options{Rect: rc, BatchK: 16})
+	core.Sequential(context.Background(), areaNet, core.Options{Rect: rc, BatchK: 16})
 	actA, _ := power.Compute(areaNet, 0.5)
 	fmt.Printf("area-driven:  LC %5d -> %5d, activity cost %.1f -> %.1f\n",
 		lcBefore, areaNet.Literals(), costBefore,

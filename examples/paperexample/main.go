@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -66,7 +67,7 @@ func main() {
 
 	// ---- Example 4.1: independent partitions duplicate a+b ----
 	indep := network.PaperExample()
-	core.Partitioned(indep, 2, core.Options{})
+	core.Partitioned(context.Background(), indep, 2, core.Options{})
 	fmt.Printf("Independent partitioned extraction (Example 4.1): LC %d (SIS reaches 22)\n",
 		indep.Literals())
 	for _, v := range indep.NodeVars() {
@@ -76,7 +77,7 @@ func main() {
 
 	// ---- §5: the L-shaped run recovers the shared kernel ----
 	lnet := network.PaperExample()
-	core.LShaped(lnet, 2, core.Options{})
+	core.LShaped(context.Background(), lnet, 2, core.Options{})
 	fmt.Printf("L-shaped parallel extraction: LC %d\n", lnet.Literals())
 	for _, v := range lnet.NodeVars() {
 		fmt.Printf("  %s = %s\n", lnet.Names.Name(v), lnet.Node(v).Fn.Format(lnet.Names.Fmt()))

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -21,7 +22,7 @@ func main() {
 
 	// Sequential kernel extraction (the SIS-equivalent baseline).
 	seq := nw.Clone()
-	res := core.Sequential(seq, core.Options{})
+	res := core.Sequential(context.Background(), seq, core.Options{})
 	fmt.Printf("\nsequential: LC %d -> %d, %d kernels extracted\n",
 		33, res.LC, res.Extracted)
 	for _, v := range seq.NodeVars() {
@@ -31,7 +32,7 @@ func main() {
 	// The same factorization on 2 virtual processors with L-shaped
 	// partitioning (paper §5).
 	par := nw.Clone()
-	lres := core.LShaped(par, 2, core.Options{})
+	lres := core.LShaped(context.Background(), par, 2, core.Options{})
 	fmt.Printf("\nL-shaped (p=2): LC %d -> %d, %d kernels, virtual time %d\n",
 		33, lres.LC, lres.Extracted, lres.VirtualTime)
 	for _, v := range par.NodeVars() {

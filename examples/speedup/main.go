@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +29,7 @@ func main() {
 		panic(err)
 	}
 	initial := nw.Literals()
-	base := core.Sequential(nw, opt)
+	base := core.Sequential(context.Background(), nw, opt)
 	fmt.Printf("%s: initial LC %d; sequential LC %d, virtual time %d\n\n",
 		*bench, initial, base.LC, base.VirtualTime)
 
@@ -39,11 +40,11 @@ func main() {
 	replOpt.Rect.MaxVisits = 20000
 	for _, p := range []int{1, 2, 4, 6} {
 		r1, _ := gen.Benchmark(*bench)
-		repl := core.Replicated(r1, p, replOpt)
+		repl := core.Replicated(context.Background(), r1, p, replOpt)
 		r2, _ := gen.Benchmark(*bench)
-		part := core.Partitioned(r2, p, opt)
+		part := core.Partitioned(context.Background(), r2, p, opt)
 		r3, _ := gen.Benchmark(*bench)
-		lsh := core.LShaped(r3, p, opt)
+		lsh := core.LShaped(context.Background(), r3, p, opt)
 		fmt.Printf("%4d | %14d %7.2f | %14d %7.2f | %14d %7.2f\n", p,
 			repl.LC, core.Speedup(base, repl),
 			part.LC, core.Speedup(base, part),

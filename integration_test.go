@@ -6,6 +6,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/blif"
@@ -35,19 +36,19 @@ func TestPipelineAllAlgorithms(t *testing.T) {
 	eqOpt := equiv.Options{ExhaustiveLimit: 0, RandomVectors: 256, Seed: 42}
 
 	seqNet := ref.CloneDetached()
-	seq := core.Sequential(seqNet, intOpt())
+	seq := core.Sequential(context.Background(), seqNet, intOpt())
 
 	replOpt := intOpt()
 	replOpt.BatchK = 1
 	replOpt.Rect.MaxVisits = 4000
 	replNet := ref.CloneDetached()
-	repl := core.Replicated(replNet, 3, replOpt)
+	repl := core.Replicated(context.Background(), replNet, 3, replOpt)
 
 	partNet := ref.CloneDetached()
-	part := core.Partitioned(partNet, 3, intOpt())
+	part := core.Partitioned(context.Background(), partNet, 3, intOpt())
 
 	lNet := ref.CloneDetached()
-	lsh := core.LShaped(lNet, 3, intOpt())
+	lsh := core.LShaped(context.Background(), lNet, 3, intOpt())
 
 	for name, nw := range map[string]*network.Network{
 		"sequential": seqNet, "replicated": replNet,
@@ -118,7 +119,7 @@ func TestPipelineScriptAndIO(t *testing.T) {
 func TestDeterministicSequentialRuns(t *testing.T) {
 	run := func() (int, int64) {
 		nw, _ := gen.Benchmark("misex3")
-		r := core.Sequential(nw, intOpt())
+		r := core.Sequential(context.Background(), nw, intOpt())
 		return r.LC, r.VirtualTime
 	}
 	lc1, vt1 := run()
@@ -131,7 +132,7 @@ func TestDeterministicSequentialRuns(t *testing.T) {
 		opt := intOpt()
 		opt.BatchK = 1
 		opt.Rect.MaxVisits = 4000
-		r := core.Replicated(nw, 3, opt)
+		r := core.Replicated(context.Background(), nw, 3, opt)
 		return r.LC
 	}
 	if runRepl() != runRepl() {

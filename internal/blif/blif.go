@@ -18,12 +18,68 @@ import (
 	"repro/internal/sop"
 )
 
-// Read parses a BLIF model into a network.
+// Limits bounds what a reader will accept, so a malformed or
+// malicious upload cannot exhaust memory or wedge a serving process.
+// Zero fields take the DefaultLimits value; Read uses DefaultLimits
+// throughout.
+type Limits struct {
+	// MaxLineBytes caps one logical line (after joining
+	// continuations).
+	MaxLineBytes int
+	// MaxNodes caps .names blocks (internal nodes).
+	MaxNodes int
+	// MaxCubes caps the total cover rows across all nodes.
+	MaxCubes int
+	// MaxInputs caps declared primary inputs.
+	MaxInputs int
+}
+
+// DefaultLimits preserves the package's historical capacity: lines to
+// 16 MiB and generous structural bounds that no benchmark approaches.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxLineBytes: 16 * 1024 * 1024,
+		MaxNodes:     1 << 20,
+		MaxCubes:     1 << 23,
+		MaxInputs:    1 << 20,
+	}
+}
+
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxLineBytes <= 0 {
+		l.MaxLineBytes = d.MaxLineBytes
+	}
+	if l.MaxNodes <= 0 {
+		l.MaxNodes = d.MaxNodes
+	}
+	if l.MaxCubes <= 0 {
+		l.MaxCubes = d.MaxCubes
+	}
+	if l.MaxInputs <= 0 {
+		l.MaxInputs = d.MaxInputs
+	}
+	return l
+}
+
+// Read parses a BLIF model into a network under DefaultLimits.
 func Read(r io.Reader) (*network.Network, error) {
+	return ReadLimits(r, Limits{})
+}
+
+// ReadLimits parses a BLIF model into a network, rejecting input that
+// exceeds lim. This is the entry point for untrusted input.
+func ReadLimits(r io.Reader, lim Limits) (*network.Network, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	buf := 64 * 1024
+	if buf > lim.MaxLineBytes {
+		buf = lim.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, buf), lim.MaxLineBytes)
 	var nw *network.Network
 	var pendingOutputs []string
+	nodes, cubes := 0, 0
 
 	// State for the .names block being assembled.
 	var namesArgs []string
@@ -34,12 +90,28 @@ func Read(r io.Reader) (*network.Network, error) {
 		if namesArgs == nil {
 			return nil
 		}
+		nodes++
+		if nodes > lim.MaxNodes {
+			return fmt.Errorf("blif: more than %d nodes", lim.MaxNodes)
+		}
 		out := namesArgs[len(namesArgs)-1]
 		fn := sop.NewExpr(cover...)
 		if _, err := nw.AddNode(out, fn); err != nil {
 			return err
 		}
 		namesArgs, cover = nil, nil
+		return nil
+	}
+
+	// checkNames rejects identifiers that cannot survive a
+	// write/re-read round trip: a trailing backslash would be eaten
+	// as a line continuation when the name is last on its line.
+	checkNames := func(names []string) error {
+		for _, n := range names {
+			if strings.HasSuffix(n, `\`) {
+				return fmt.Errorf("blif:%d: name %q ends with a continuation character", lineNo, n)
+			}
+		}
 		return nil
 	}
 
@@ -57,6 +129,9 @@ func Read(r io.Reader) (*network.Network, error) {
 		if strings.HasSuffix(raw, "\\") {
 			cont.WriteString(strings.TrimSuffix(raw, "\\"))
 			cont.WriteByte(' ')
+			if cont.Len() > lim.MaxLineBytes {
+				return nil, fmt.Errorf("blif:%d: continued line exceeds %d bytes", lineNo, lim.MaxLineBytes)
+			}
 			continue
 		}
 		if cont.Len() > 0 {
@@ -79,12 +154,21 @@ func Read(r io.Reader) (*network.Network, error) {
 			if nw == nil {
 				return nil, fmt.Errorf("blif:%d: .inputs before .model", lineNo)
 			}
+			if err := checkNames(fields[1:]); err != nil {
+				return nil, err
+			}
 			for _, in := range fields[1:] {
 				nw.AddInput(in)
+			}
+			if len(nw.Inputs()) > lim.MaxInputs {
+				return nil, fmt.Errorf("blif:%d: more than %d inputs", lineNo, lim.MaxInputs)
 			}
 		case ".outputs":
 			if nw == nil {
 				return nil, fmt.Errorf("blif:%d: .outputs before .model", lineNo)
+			}
+			if err := checkNames(fields[1:]); err != nil {
+				return nil, err
 			}
 			pendingOutputs = append(pendingOutputs, fields[1:]...)
 		case ".names":
@@ -97,6 +181,9 @@ func Read(r io.Reader) (*network.Network, error) {
 			if len(fields) < 2 {
 				return nil, fmt.Errorf("blif:%d: .names needs at least an output", lineNo)
 			}
+			if err := checkNames(fields[1:]); err != nil {
+				return nil, err
+			}
 			namesArgs = fields[1:]
 		case ".end":
 			if err := flushNames(); err != nil {
@@ -108,6 +195,10 @@ func Read(r io.Reader) (*network.Network, error) {
 			// A cover row of the current .names block.
 			if namesArgs == nil {
 				return nil, fmt.Errorf("blif:%d: cover row outside .names", lineNo)
+			}
+			cubes++
+			if cubes > lim.MaxCubes {
+				return nil, fmt.Errorf("blif:%d: more than %d cover rows", lineNo, lim.MaxCubes)
 			}
 			cube, err := parseRow(nw, namesArgs, fields, lineNo)
 			if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/equiv"
@@ -23,7 +24,7 @@ func TestAblationZeroCostCheckStaysEquivalent(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref := nw.Clone()
-	res := LShaped(nw, 3, opt)
+	res := LShaped(context.Background(), nw, 3, opt)
 	if err := equiv.Check(ref, nw, equiv.Options{
 		ExhaustiveLimit: 0, RandomVectors: 256, Seed: 5,
 	}); err != nil {
@@ -31,7 +32,7 @@ func TestAblationZeroCostCheckStaysEquivalent(t *testing.T) {
 	}
 	// And the check enabled is no worse.
 	nw2, _ := gen.Benchmark("misex3")
-	res2 := LShaped(nw2, 3, ablOpt())
+	res2 := LShaped(context.Background(), nw2, 3, ablOpt())
 	if res2.LC > res.LC+res.LC/20 {
 		t.Fatalf("enabled check much worse: %d vs %d", res2.LC, res.LC)
 	}
@@ -42,7 +43,7 @@ func TestAblationOwnerCheckStaysEquivalent(t *testing.T) {
 	opt.DisableOwnerCheck = true
 	nw := network.PaperExample()
 	ref := nw.Clone()
-	LShaped(nw, 2, opt)
+	LShaped(context.Background(), nw, 2, opt)
 	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -57,8 +58,8 @@ func TestLShapedOnGeneratedCircuit(t *testing.T) {
 	}
 	ref := nw.Clone()
 	seqNet := nw.Clone()
-	seq := Sequential(seqNet, ablOpt())
-	res := LShaped(nw, 4, ablOpt())
+	seq := Sequential(context.Background(), seqNet, ablOpt())
+	res := LShaped(context.Background(), nw, 4, ablOpt())
 	if err := equiv.Check(ref, nw, equiv.Options{
 		ExhaustiveLimit: 0, RandomVectors: 512, Seed: 11,
 	}); err != nil {
@@ -79,7 +80,7 @@ func TestPartitionedOnGeneratedCircuit(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref := nw.Clone()
-	res := Partitioned(nw, 4, ablOpt())
+	res := Partitioned(context.Background(), nw, 4, ablOpt())
 	if err := equiv.Check(ref, nw, equiv.Options{
 		ExhaustiveLimit: 0, RandomVectors: 512, Seed: 13,
 	}); err != nil {
@@ -99,7 +100,7 @@ func TestReplicatedOnGeneratedCircuit(t *testing.T) {
 	opt.BatchK = 1
 	opt.Rect.MaxVisits = 4000
 	ref := nw.Clone()
-	res := Replicated(nw, 3, opt)
+	res := Replicated(context.Background(), nw, 3, opt)
 	if err := equiv.Check(ref, nw, equiv.Options{
 		ExhaustiveLimit: 0, RandomVectors: 512, Seed: 17,
 	}); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/extract"
@@ -80,6 +81,11 @@ type RunResult struct {
 	// DNF reports that the run exceeded its work budget and was
 	// aborted, like the paper's '-' entries in Table 2.
 	DNF bool
+	// Cancelled reports that the run stopped early because its
+	// context was cancelled or its deadline expired. The network is
+	// function-equivalent to the input (partial factorization only),
+	// but the reported metrics cover only the work done.
+	Cancelled bool
 }
 
 // chargeWork converts an extract.Work bundle into virtual time on
@@ -93,11 +99,12 @@ func chargeWork(mc *vtime.Machine, w int, work extract.Work) {
 
 // Sequential runs the baseline SIS-style factorization to fixpoint on
 // a single virtual processor and reports its virtual time — the
-// numerator of every speedup in Tables 2, 3 and 6.
-func Sequential(nw *network.Network, opt Options) RunResult {
+// numerator of every speedup in Tables 2, 3 and 6. Cancelling ctx
+// stops the run at the next rectangle boundary with Cancelled set.
+func Sequential(ctx context.Context, nw *network.Network, opt Options) RunResult {
 	mc := vtime.NewMachine(1, opt.model())
 	start := time.Now()
-	res, calls := extract.Repeat(nw, nil, extract.Options{Kernel: opt.Kernel, Rect: opt.Rect, BatchK: opt.BatchK})
+	res, calls := extract.Repeat(ctx, nw, nil, extract.Options{Kernel: opt.Kernel, Rect: opt.Rect, BatchK: opt.BatchK})
 	chargeWork(mc, 0, res.Work)
 	return RunResult{
 		Algorithm:   "sequential",
@@ -108,6 +115,7 @@ func Sequential(nw *network.Network, opt Options) RunResult {
 		VirtualTime: mc.Elapsed(),
 		TotalWork:   mc.TotalWork(),
 		WallClock:   time.Since(start),
+		Cancelled:   res.Cancelled,
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/equiv"
@@ -9,7 +10,7 @@ import (
 
 func TestSequentialBaseline(t *testing.T) {
 	nw := network.PaperExample()
-	res := Sequential(nw, Options{})
+	res := Sequential(context.Background(), nw, Options{})
 	if res.LC != 22 {
 		t.Fatalf("sequential LC = %d want 22", res.LC)
 	}
@@ -27,7 +28,7 @@ func TestReplicatedMatchesSequentialQuality(t *testing.T) {
 	for _, p := range []int{1, 2, 3, 4} {
 		nw := network.PaperExample()
 		ref := nw.Clone()
-		res := Replicated(nw, p, Options{})
+		res := Replicated(context.Background(), nw, p, Options{})
 		if res.LC != 22 {
 			t.Fatalf("p=%d: LC = %d want 22", p, res.LC)
 		}
@@ -45,7 +46,7 @@ func TestReplicatedDeterministicAcrossP(t *testing.T) {
 	var lcs []int
 	for _, p := range []int{1, 2, 4, 6} {
 		nw := network.PaperExample()
-		Replicated(nw, p, Options{})
+		Replicated(context.Background(), nw, p, Options{})
 		lcs = append(lcs, nw.Literals())
 	}
 	for _, lc := range lcs[1:] {
@@ -57,9 +58,9 @@ func TestReplicatedDeterministicAcrossP(t *testing.T) {
 
 func TestReplicatedBarriersAndRedundantWork(t *testing.T) {
 	nw1 := network.PaperExample()
-	r1 := Replicated(nw1, 1, Options{})
+	r1 := Replicated(context.Background(), nw1, 1, Options{})
 	nw4 := network.PaperExample()
-	r4 := Replicated(nw4, 4, Options{})
+	r4 := Replicated(context.Background(), nw4, 4, Options{})
 	if r4.Barriers == 0 {
 		t.Fatal("no barriers recorded at p=4")
 	}
@@ -73,7 +74,7 @@ func TestReplicatedBarriersAndRedundantWork(t *testing.T) {
 
 func TestReplicatedDNFOnBudget(t *testing.T) {
 	nw := network.PaperExample()
-	res := Replicated(nw, 2, Options{WorkBudget: 1})
+	res := Replicated(context.Background(), nw, 2, Options{WorkBudget: 1})
 	if !res.DNF {
 		t.Fatal("expected DNF with a tiny budget")
 	}
@@ -85,7 +86,7 @@ func TestPartitionedQualityAndIndependence(t *testing.T) {
 	// worse LC than sequential, but stays functionally equivalent.
 	nw := network.PaperExample()
 	ref := nw.Clone()
-	res := Partitioned(nw, 2, Options{})
+	res := Partitioned(context.Background(), nw, 2, Options{})
 	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -101,9 +102,9 @@ func TestPartitionedQualityAndIndependence(t *testing.T) {
 
 func TestPartitionedP1EqualsSequential(t *testing.T) {
 	a := network.PaperExample()
-	ra := Partitioned(a, 1, Options{})
+	ra := Partitioned(context.Background(), a, 1, Options{})
 	b := network.PaperExample()
-	rb := Sequential(b, Options{})
+	rb := Sequential(context.Background(), b, Options{})
 	if ra.LC != rb.LC {
 		t.Fatalf("p=1 partitioned LC %d != sequential %d", ra.LC, rb.LC)
 	}
@@ -111,7 +112,7 @@ func TestPartitionedP1EqualsSequential(t *testing.T) {
 
 func TestPartitionedMergeBackIntegrity(t *testing.T) {
 	nw := network.PaperExample()
-	Partitioned(nw, 3, Options{})
+	Partitioned(context.Background(), nw, 3, Options{})
 	if err := nw.CheckDriven(); err != nil {
 		t.Fatalf("merged network broken: %v", err)
 	}
@@ -125,7 +126,7 @@ func TestLShapedQualityBeatsPartitioned(t *testing.T) {
 	// that the independent partitions duplicate.
 	nw := network.PaperExample()
 	ref := nw.Clone()
-	res := LShaped(nw, 2, Options{})
+	res := LShaped(context.Background(), nw, 2, Options{})
 	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestLShapedManyP(t *testing.T) {
 	for _, p := range []int{1, 2, 3, 4, 6} {
 		nw := network.PaperExample()
 		ref := nw.Clone()
-		res := LShaped(nw, p, Options{})
+		res := LShaped(context.Background(), nw, p, Options{})
 		if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
@@ -156,7 +157,7 @@ func TestLShapedManyP(t *testing.T) {
 
 func TestLShapedDNFOnBudget(t *testing.T) {
 	nw := network.PaperExample()
-	res := LShaped(nw, 2, Options{WorkBudget: 1})
+	res := LShaped(context.Background(), nw, 2, Options{WorkBudget: 1})
 	if !res.DNF {
 		t.Fatal("expected DNF with tiny budget")
 	}

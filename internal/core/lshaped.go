@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -27,16 +28,24 @@ import (
 // covered cubes (§5.3). No per-step synchronization is needed, yet
 // the overlap lets partition-spanning rectangles be found — the
 // paper's compromise between the replicated and independent designs.
-func LShaped(nw *network.Network, p int, opt Options) RunResult {
+func LShaped(ctx context.Context, nw *network.Network, p int, opt Options) RunResult {
 	mc := vtime.NewMachine(p, opt.model())
 	start := time.Now()
 	res := RunResult{Algorithm: "lshaped", P: p}
 
 	parts := partition.KWay(nw, nil, p, opt.Partition)
 	for {
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
 		res.Calls++
-		extracted, dnf := lshapedCall(nw, parts, opt, mc)
+		extracted, dnf, cancelled := lshapedCall(ctx, nw, parts, opt, mc)
 		res.Extracted += extracted
+		if cancelled {
+			res.Cancelled = true
+			break
+		}
 		if dnf {
 			res.DNF = true
 			break
@@ -92,7 +101,7 @@ func (q *fwdQueue) drain() []fwdMsg {
 // touches are charged inside their closures.
 //
 //repolint:allow vtimecharge -- coordinator-side SetOwnerCheck runs before the workers start; every worker-side state-table touch is charged in its own closure
-func lshapedCall(nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.Machine) (int, bool) {
+func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.Machine) (int, bool, bool) {
 	p := len(parts)
 	ownerOf := map[sop.Var]int{}
 	for w, part := range parts {
@@ -114,6 +123,7 @@ func lshapedCall(nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.
 	newNodes := make([][]sop.Var, p)
 	usedNodes := make([]map[sop.Var]bool, p)
 	var overBudget atomic.Bool
+	var ctxDone atomic.Bool
 
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
@@ -180,6 +190,13 @@ func lshapedCall(nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.
 			}
 		cover:
 			for {
+				// Workers never synchronize inside the cover, so
+				// each may notice cancellation at its own rectangle
+				// boundary and fall through to the phase barrier.
+				if ctx.Err() != nil {
+					ctxDone.Store(true)
+					break
+				}
 				if opt.WorkBudget > 0 && mc.Clock(w) > opt.WorkBudget {
 					overBudget.Store(true)
 					break
@@ -323,7 +340,7 @@ func lshapedCall(nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.
 			}
 		}
 	}
-	return extracted, overBudget.Load()
+	return extracted, overBudget.Load(), ctxDone.Load()
 }
 
 // processForwards divides this worker's nodes by kernels extracted on

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -20,7 +21,7 @@ import (
 // rectangles spanning partitions are missed and kernels get
 // duplicated (Example 4.1), but the search space per worker shrinks
 // superlinearly — the source of the paper's super-linear speedups.
-func Partitioned(nw *network.Network, p int, opt Options) RunResult {
+func Partitioned(ctx context.Context, nw *network.Network, p int, opt Options) RunResult {
 	mc := vtime.NewMachine(p, opt.model())
 	start := time.Now()
 	res := RunResult{Algorithm: "partitioned", P: p}
@@ -38,7 +39,7 @@ func Partitioned(nw *network.Network, p int, opt Options) RunResult {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			r, calls := extract.Repeat(clones[w], parts[w], extract.Options{
+			r, calls := extract.Repeat(ctx, clones[w], parts[w], extract.Options{
 				Kernel: opt.Kernel,
 				Rect:   opt.Rect,
 				BatchK: opt.BatchK,
@@ -51,7 +52,8 @@ func Partitioned(nw *network.Network, p int, opt Options) RunResult {
 	wg.Wait()
 
 	// Merge the independently factored partitions back into the
-	// caller's network.
+	// caller's network. A cancelled run still merges: each clone is
+	// function-equivalent to its input, so the merged network is too.
 	orig := map[sop.Var]bool{}
 	for _, v := range nw.NodeVars() {
 		orig[v] = true
@@ -59,6 +61,7 @@ func Partitioned(nw *network.Network, p int, opt Options) RunResult {
 	for w := 0; w < p; w++ {
 		mergeBack(nw, clones[w], parts[w], orig, w)
 		res.Extracted += results[w].Extracted
+		res.Cancelled = res.Cancelled || results[w].Cancelled
 		if callCounts[w] > res.Calls {
 			res.Calls = callCounts[w]
 		}
@@ -99,17 +102,32 @@ func mergeBack(main, clone *network.Network, part []sop.Var, orig map[sop.Var]bo
 	}
 	// New nodes in creation order only ever reference original
 	// variables or earlier new nodes, so one forward pass suffices.
+	// Generated names can collide with node names present in parsed
+	// input (nothing stops a BLIF file from declaring "[w0_0]"), so
+	// keep drawing candidates until one is free rather than panicking
+	// on a duplicate.
 	i := 0
 	for _, v := range clone.NodeVars() {
 		if orig[v] {
 			continue
 		}
-		name := fmt.Sprintf("[w%d_%d]", w, i)
-		i++
-		mv := main.MustAddNode(name, translate(clone.Node(v).Fn))
+		var mv sop.Var
+		for {
+			name := fmt.Sprintf("[w%d_%d]", w, i)
+			i++
+			var err error
+			if mv, err = main.AddNode(name, translate(clone.Node(v).Fn)); err == nil {
+				break
+			}
+		}
 		vmap[v] = mv
 	}
 	for _, v := range part {
-		main.SetFn(v, translate(clone.Node(v).Fn))
+		if err := main.SetFn(v, translate(clone.Node(v).Fn)); err != nil {
+			// Partition members are nodes of main by construction;
+			// a failure here means the clone diverged and the safe
+			// choice is to keep main's current (equivalent) function.
+			continue
+		}
 	}
 }

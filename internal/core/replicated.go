@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/extract"
@@ -23,7 +25,7 @@ import (
 // limited by the per-extraction barriers and the redundant division
 // and merge work; memory grows with p (the paper's reason it cannot
 // handle spla and ex1010).
-func Replicated(nw *network.Network, p int, opt Options) RunResult {
+func Replicated(ctx context.Context, nw *network.Network, p int, opt Options) RunResult {
 	mc := vtime.NewMachine(p, opt.model())
 	start := time.Now()
 	res := RunResult{Algorithm: "replicated", P: p}
@@ -40,9 +42,17 @@ func Replicated(nw *network.Network, p int, opt Options) RunResult {
 	active := nw.NodeVars()
 
 	for {
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
 		res.Calls++
 		before := nw.NumNodes()
-		dnf := replicatedCall(nets, active, opt, mc)
+		dnf, cancelled := replicatedCall(ctx, nets, active, opt, mc)
+		if cancelled {
+			res.Cancelled = true
+			break
+		}
 		if dnf {
 			res.DNF = true
 			break
@@ -64,12 +74,23 @@ func Replicated(nw *network.Network, p int, opt Options) RunResult {
 }
 
 // replicatedCall performs one lockstep factorization call across all
-// workers and reports whether the work budget was exceeded.
-func replicatedCall(nets []*network.Network, active []sop.Var, opt Options, mc *vtime.Machine) bool {
+// workers and reports whether the work budget was exceeded and
+// whether ctx was cancelled.
+//
+// Cancellation must be observed identically by every worker or the
+// lockstep barriers deadlock, so a worker never acts on ctx directly:
+// any worker that sees ctx done raises the shared ctxDone flag before
+// the round's decision barrier, and all workers read the flag only
+// after that barrier. Flag writes happen-before the barrier release
+// and no write can occur between that barrier and the round's final
+// barrier, so every worker reads the same value each round.
+func replicatedCall(ctx context.Context, nets []*network.Network, active []sop.Var, opt Options, mc *vtime.Machine) (bool, bool) {
 	p := len(nets)
 	mats := make([]*kcm.Matrix, p)
 	bests := make([]rect.Rect, p)
 	dnf := false
+	var ctxDone atomic.Bool
+	cancelled := false
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
@@ -133,7 +154,16 @@ func replicatedCall(nets []*network.Network, active []sop.Var, opt Options, mc *
 					}
 				}
 				overBudget := opt.WorkBudget > 0 && mc.Clock(w) > opt.WorkBudget
+				if ctx.Err() != nil {
+					ctxDone.Store(true)
+				}
 				mc.Barrier(w)
+				if ctxDone.Load() {
+					if w == 0 {
+						cancelled = true
+					}
+					return
+				}
 				if overBudget {
 					if w == 0 {
 						dnf = true
@@ -156,7 +186,7 @@ func replicatedCall(nets []*network.Network, active []sop.Var, opt Options, mc *
 		}(w)
 	}
 	wg.Wait()
-	return dnf
+	return dnf, cancelled
 }
 
 func sameRect(a, b rect.Rect) bool {

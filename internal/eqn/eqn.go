@@ -20,13 +20,71 @@ import (
 	"repro/internal/sop"
 )
 
-// Read parses an equation file into a network named name.
+// Limits bounds what a reader will accept, so a malformed or
+// malicious upload cannot exhaust memory or wedge a serving process.
+// Zero fields take the DefaultLimits value; Read uses DefaultLimits
+// throughout.
+type Limits struct {
+	// MaxLineBytes caps one physical line.
+	MaxLineBytes int
+	// MaxStmtBytes caps one ';'-terminated statement, which may
+	// span lines.
+	MaxStmtBytes int
+	// MaxNodes caps equations (internal nodes).
+	MaxNodes int
+	// MaxInputs caps declared primary inputs.
+	MaxInputs int
+}
+
+// DefaultLimits preserves the package's historical capacity: lines to
+// 16 MiB and generous structural bounds that no benchmark approaches.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxLineBytes: 16 * 1024 * 1024,
+		MaxStmtBytes: 16 * 1024 * 1024,
+		MaxNodes:     1 << 20,
+		MaxInputs:    1 << 20,
+	}
+}
+
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxLineBytes <= 0 {
+		l.MaxLineBytes = d.MaxLineBytes
+	}
+	if l.MaxStmtBytes <= 0 {
+		l.MaxStmtBytes = d.MaxStmtBytes
+	}
+	if l.MaxNodes <= 0 {
+		l.MaxNodes = d.MaxNodes
+	}
+	if l.MaxInputs <= 0 {
+		l.MaxInputs = d.MaxInputs
+	}
+	return l
+}
+
+// Read parses an equation file into a network named name under
+// DefaultLimits.
 func Read(r io.Reader, name string) (*network.Network, error) {
+	return ReadLimits(r, name, Limits{})
+}
+
+// ReadLimits parses an equation file into a network named name,
+// rejecting input that exceeds lim. This is the entry point for
+// untrusted input.
+func ReadLimits(r io.Reader, name string, lim Limits) (*network.Network, error) {
+	lim = lim.withDefaults()
 	nw := network.New(name)
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	buf := 64 * 1024
+	if buf > lim.MaxLineBytes {
+		buf = lim.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, buf), lim.MaxLineBytes)
 	var stmt strings.Builder
 	lineNo := 0
+	nodes := 0
 	var outputs []string
 	flush := func() error {
 		s := strings.TrimSpace(stmt.String())
@@ -45,9 +103,16 @@ func Read(r io.Reader, name string) (*network.Network, error) {
 			for _, in := range strings.Fields(rhs) {
 				nw.AddInput(in)
 			}
+			if len(nw.Inputs()) > lim.MaxInputs {
+				return fmt.Errorf("eqn:%d: more than %d inputs", lineNo, lim.MaxInputs)
+			}
 		case "OUTORDER":
 			outputs = append(outputs, strings.Fields(rhs)...)
 		default:
+			nodes++
+			if nodes > lim.MaxNodes {
+				return fmt.Errorf("eqn:%d: more than %d equations", lineNo, lim.MaxNodes)
+			}
 			fn, err := sop.ParseExpr(nw.Names, rhs)
 			if err != nil {
 				return fmt.Errorf("eqn:%d: %s: %w", lineNo, lhs, err)
@@ -69,6 +134,9 @@ func Read(r io.Reader, name string) (*network.Network, error) {
 			if semi < 0 {
 				stmt.WriteString(line)
 				stmt.WriteByte(' ')
+				if stmt.Len() > lim.MaxStmtBytes {
+					return nil, fmt.Errorf("eqn:%d: statement exceeds %d bytes", lineNo, lim.MaxStmtBytes)
+				}
 				break
 			}
 			stmt.WriteString(line[:semi])

@@ -1,0 +1,53 @@
+package eqn
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fuzzLimits keeps the fuzzer inside a memory envelope the harness
+// tolerates; the limits themselves are part of what is under test.
+var fuzzLimits = Limits{
+	MaxLineBytes: 1 << 16,
+	MaxStmtBytes: 1 << 16,
+	MaxNodes:     1 << 10,
+	MaxInputs:    1 << 10,
+}
+
+// FuzzReadEqn asserts that ReadLimits never panics, and that any
+// accepted input survives a write -> parse -> write round trip with
+// byte-identical second serialization.
+func FuzzReadEqn(f *testing.F) {
+	seeds, _ := filepath.Glob(filepath.Join("..", "..", "examples", "circuits", "*.eqn"))
+	for _, p := range seeds {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(string(data))
+		}
+	}
+	f.Add("INORDER = a b;\nOUTORDER = y;\ny = a*b' + a'*b;\n")
+	f.Add("INORDER = a;\nOUTORDER = y z;\ny = 0;\nz = a;\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		nw, err := ReadLimits(strings.NewReader(src), "fuzz", fuzzLimits)
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := Write(&first, nw); err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		nw2, err := ReadLimits(bytes.NewReader(first.Bytes()), "fuzz", fuzzLimits)
+		if err != nil {
+			t.Fatalf("re-parse of own output: %v\noutput:\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := Write(&second, nw2); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("round trip not stable\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -96,7 +97,7 @@ func TestGroupRowsDeterministic(t *testing.T) {
 }
 
 func buildPaperMatrix(nw *network.Network) *kcm.Matrix {
-	return kcm.Build(nw, nw.NodeVars(), kernels.Options{})
+	return kcm.Build(context.Background(), nw, nw.NodeVars(), kernels.Options{})
 }
 
 func rectOf(rows, cols []int64) rect.Rect {

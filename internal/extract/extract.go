@@ -17,6 +17,7 @@
 package extract
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/kcm"
@@ -86,6 +87,11 @@ type Result struct {
 	GainEstimate int
 	// Work is the computation performed.
 	Work Work
+	// Cancelled reports that the call stopped early because its
+	// context was cancelled or its deadline expired. The network is
+	// left in a consistent (partially factored, function-preserving)
+	// state.
+	Cancelled bool
 }
 
 // KernelExtract performs one factorization call on the given nodes of
@@ -93,14 +99,23 @@ type Result struct {
 // created for extracted kernels do not join this call's matrix (they
 // are candidates for the next call, as in SIS). Passing nil nodes
 // factors every current node.
-func KernelExtract(nw *network.Network, nodes []sop.Var, opt Options) Result {
+//
+// Cancellation is cooperative: ctx is checked during the matrix build
+// and before every best-rectangle pick, so a cancelled call returns
+// promptly with Result.Cancelled set and the network function-
+// equivalent to its input (every completed extraction preserves it).
+func KernelExtract(ctx context.Context, nw *network.Network, nodes []sop.Var, opt Options) Result {
 	if nodes == nil {
 		nodes = nw.NodeVars()
 	}
 	var res Result
-	m := kcm.Build(nw, nodes, opt.Kernel)
+	m := kcm.Build(ctx, nw, nodes, opt.Kernel)
 	res.Work.KernelPairs += len(m.Rows())
 	res.Work.MatrixEntries += m.NumEntries()
+	if ctx.Err() != nil {
+		res.Cancelled = true
+		return res
+	}
 	covered := rect.NewCover(m)
 	cfg := opt.Rect
 	cfg.Cover = covered
@@ -110,6 +125,10 @@ func KernelExtract(nw *network.Network, nodes []sop.Var, opt Options) Result {
 	}
 outer:
 	for {
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
 		if opt.MaxExtractions > 0 && res.Extracted >= opt.MaxExtractions {
 			break
 		}
@@ -140,8 +159,9 @@ outer:
 
 // Repeat calls KernelExtract until a call extracts nothing, the way a
 // synthesis script invokes factorization repeatedly. It returns the
-// accumulated result and the number of calls made.
-func Repeat(nw *network.Network, nodes []sop.Var, opt Options) (Result, int) {
+// accumulated result and the number of calls made. A cancelled ctx
+// ends the loop at the next call boundary with Cancelled set.
+func Repeat(ctx context.Context, nw *network.Network, nodes []sop.Var, opt Options) (Result, int) {
 	var total Result
 	calls := 0
 	active := nodes
@@ -151,11 +171,15 @@ func Repeat(nw *network.Network, nodes []sop.Var, opt Options) (Result, int) {
 	for {
 		calls++
 		before := nw.NumNodes()
-		res := KernelExtract(nw, active, opt)
+		res := KernelExtract(ctx, nw, active, opt)
 		total.Extracted += res.Extracted
 		total.Iterations += res.Iterations
 		total.GainEstimate += res.GainEstimate
 		total.Work.Add(res.Work)
+		if res.Cancelled {
+			total.Cancelled = true
+			break
+		}
 		if res.Extracted == 0 {
 			break
 		}

@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -18,7 +19,7 @@ func TestKernelExtractPaperNetwork(t *testing.T) {
 	// takes the Eq. 1 network from 33 to 22 literals.
 	nw := network.PaperExample()
 	ref := nw.Clone()
-	res := KernelExtract(nw, nil, Options{})
+	res := KernelExtract(context.Background(), nw, nil, Options{})
 	if got := nw.Literals(); got != 22 {
 		t.Fatalf("final LC = %d want 22", got)
 	}
@@ -37,7 +38,7 @@ func TestKernelExtractFirstKernelIsAB(t *testing.T) {
 	nw := network.PaperExample()
 	var first sop.Expr
 	seen := false
-	KernelExtract(nw, nil, Options{OnExtract: func(k sop.Expr, _ rectArg) {
+	KernelExtract(context.Background(), nw, nil, Options{OnExtract: func(k sop.Expr, _ rectArg) {
 		if !seen {
 			first = k
 			seen = true
@@ -53,7 +54,7 @@ func TestKernelExtractFirstKernelIsAB(t *testing.T) {
 
 func TestRepeatReachesFixpoint(t *testing.T) {
 	nw := network.PaperExample()
-	res, calls := Repeat(nw, nil, Options{})
+	res, calls := Repeat(context.Background(), nw, nil, Options{})
 	if nw.Literals() != 22 {
 		t.Fatalf("LC after Repeat = %d want 22", nw.Literals())
 	}
@@ -61,7 +62,7 @@ func TestRepeatReachesFixpoint(t *testing.T) {
 		t.Fatalf("calls = %d, the final call must find nothing", calls)
 	}
 	lc := nw.Literals()
-	res2 := KernelExtract(nw, nil, Options{})
+	res2 := KernelExtract(context.Background(), nw, nil, Options{})
 	if res2.Extracted != 0 || nw.Literals() != lc {
 		t.Fatalf("post-fixpoint extraction changed the network: %d extracted, LC %d -> %d",
 			res2.Extracted, lc, nw.Literals())
@@ -71,7 +72,7 @@ func TestRepeatReachesFixpoint(t *testing.T) {
 
 func TestKernelExtractMaxExtractions(t *testing.T) {
 	nw := network.PaperExample()
-	res := KernelExtract(nw, nil, Options{MaxExtractions: 1})
+	res := KernelExtract(context.Background(), nw, nil, Options{MaxExtractions: 1})
 	if res.Extracted != 1 {
 		t.Fatalf("extracted = %d want 1", res.Extracted)
 	}
@@ -90,7 +91,7 @@ func TestZeroCostCheckReproducesExample52(t *testing.T) {
 	nw := network.PaperExample()
 	names := nw.Names
 	F, _ := names.Lookup("F")
-	m := kcm.Build(nw, []sop.Var{F}, kernels.Options{})
+	m := kcm.Build(context.Background(), nw, []sop.Var{F}, kernels.Options{})
 	// Extract Y = de+f (rows F a, F b; cols f, de).
 	Y := nw.NewNodeVar(sop.MustParseExpr(names, "d*e + f"))
 	fn := nw.Node(F).Fn
@@ -173,7 +174,7 @@ func TestKernelExtractSubsetOfNodes(t *testing.T) {
 	G, _ := nw.Names.Lookup("G")
 	H, _ := nw.Names.Lookup("H")
 	fBefore := nw.Node(F).Fn
-	KernelExtract(nw, []sop.Var{G, H}, Options{})
+	KernelExtract(context.Background(), nw, []sop.Var{G, H}, Options{})
 	if !nw.Node(F).Fn.Equal(fBefore) {
 		t.Fatal("F was modified though not in the node set")
 	}
@@ -234,7 +235,7 @@ func TestQuickExtractPreservesFunction(t *testing.T) {
 		nw := randomNetwork(r)
 		ref := nw.Clone()
 		before := nw.Literals()
-		KernelExtract(nw, nil, Options{})
+		KernelExtract(context.Background(), nw, nil, Options{})
 		if nw.Literals() > before {
 			return false
 		}

@@ -1,6 +1,8 @@
 package kcm
 
 import (
+	"context"
+
 	"repro/internal/kernels"
 	"repro/internal/network"
 	"repro/internal/sop"
@@ -98,10 +100,16 @@ func (b *Builder) cubeID(v sop.Var, fc sop.Cube) int64 {
 func (b *Builder) Matrix() *Matrix { return b.m }
 
 // Build constructs the KC matrix for all the given nodes of nw using a
-// single processor-0 builder: the sequential construction of §2.
-func Build(nw *network.Network, nodes []sop.Var, opts kernels.Options) *Matrix {
+// single processor-0 builder: the sequential construction of §2. The
+// build is abandoned at the next node boundary once ctx is cancelled;
+// callers that care must check ctx.Err() and discard the partial
+// matrix.
+func Build(ctx context.Context, nw *network.Network, nodes []sop.Var, opts kernels.Options) *Matrix {
 	b := NewBuilder(0, opts)
 	for _, v := range nodes {
+		if ctx.Err() != nil {
+			break
+		}
 		b.AddNode(nw, v)
 	}
 	return b.Matrix()

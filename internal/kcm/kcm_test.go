@@ -1,6 +1,7 @@
 package kcm
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -226,7 +227,7 @@ func TestMergeOrderIndependentLabels(t *testing.T) {
 
 func TestBuildSequential(t *testing.T) {
 	nw := network.PaperExample()
-	m := Build(nw, nw.NodeVars(), kernels.Options{})
+	m := Build(context.Background(), nw, nw.NodeVars(), kernels.Options{})
 	// All rows from Figure 2: 6 (F) + 4 (G) + 1 (H) = 11.
 	if len(m.Rows()) != 11 {
 		t.Fatalf("rows = %d want 11", len(m.Rows()))
@@ -238,7 +239,7 @@ func TestBuildSequential(t *testing.T) {
 
 func TestDumpRendersAllRows(t *testing.T) {
 	nw := network.PaperExample()
-	m := Build(nw, nw.NodeVars(), kernels.Options{})
+	m := Build(context.Background(), nw, nw.NodeVars(), kernels.Options{})
 	d := m.Dump(nw.Names)
 	if !strings.Contains(d, "F de") || !strings.Contains(d, "H d*e") && !strings.Contains(d, "H de") {
 		// The dump labels rows "<node> <cokernel>"; co-kernel de
@@ -259,7 +260,7 @@ func TestDumpRendersAllRows(t *testing.T) {
 func TestQuickMergeEqualsSequential(t *testing.T) {
 	nw := network.PaperExample()
 	nodes := nw.NodeVars()
-	seq := Build(nw, nodes, kernels.Options{})
+	seq := Build(context.Background(), nw, nodes, kernels.Options{})
 	seqTriples := tripleSet(nw, seq)
 	cfg := &quick.Config{MaxCount: 40}
 	prop := func(seed int64) bool {

@@ -1,6 +1,7 @@
 package lshape
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/equiv"
@@ -221,7 +222,7 @@ func TestRunSinglePartEqualsSequential(t *testing.T) {
 	a := network.PaperExample()
 	Run(a, 1, Options{})
 	b := network.PaperExample()
-	extract.Repeat(b, nil, extract.Options{})
+	extract.Repeat(context.Background(), b, nil, extract.Options{})
 	if a.Literals() != b.Literals() {
 		t.Fatalf("k=1 L-shaped LC %d != sequential LC %d", a.Literals(), b.Literals())
 	}

@@ -84,8 +84,10 @@ func (nw *Network) AddNode(name string, fn sop.Expr) (sop.Var, error) {
 	return v, nil
 }
 
-// MustAddNode is AddNode that panics on error (construction of known
-// well-formed networks, tests).
+// MustAddNode is AddNode that panics on error. It is for construction
+// of known well-formed networks (tests, generators, the paper's
+// worked examples) and must never be reachable from parsed input —
+// untrusted paths go through AddNode and surface the error.
 func (nw *Network) MustAddNode(name string, fn sop.Expr) sop.Var {
 	v, err := nw.AddNode(name, fn)
 	if err != nil {
@@ -116,13 +118,16 @@ func (nw *Network) Node(v sop.Var) *Node {
 	return nw.nodes[v]
 }
 
-// SetFn replaces the function of the node driving v.
-func (nw *Network) SetFn(v sop.Var, fn sop.Expr) {
+// SetFn replaces the function of the node driving v. It returns an
+// error (rather than panicking — a malformed upload must not take a
+// serving process down) when v is not an internal node.
+func (nw *Network) SetFn(v sop.Var, fn sop.Expr) error {
 	nd, ok := nw.nodes[v]
 	if !ok {
-		panic(fmt.Sprintf("network: SetFn on non-node %s", nw.Names.Name(v)))
+		return fmt.Errorf("network: %s: SetFn on non-node %s", nw.Name, nw.Names.Name(v))
 	}
 	nd.Fn = fn
+	return nil
 }
 
 // RemoveNode deletes the node driving v. The caller is responsible

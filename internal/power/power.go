@@ -17,6 +17,7 @@
 package power
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/extract"
@@ -158,7 +159,7 @@ func Extract(nw *network.Network, opt kernels.Options, rc rect.Config, maxExtrac
 		LCBefore:       nw.Literals(),
 		ActivityBefore: NetworkActivityCost(nw, act),
 	}
-	m := kcm.Build(nw, nw.NodeVars(), opt)
+	m := kcm.Build(context.Background(), nw, nw.NodeVars(), opt)
 	covered := rect.NewCover(m)
 	val := act.Valuer(m, covered, 16)
 	for {

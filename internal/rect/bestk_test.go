@@ -1,6 +1,7 @@
 package rect
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/kcm"
@@ -51,7 +52,7 @@ func TestBestKEmptyWhenNothingProfitable(t *testing.T) {
 	nw.AddInput("a")
 	nw.AddInput("b")
 	nw.MustAddNode("x", mustExpr(nw, "a*b"))
-	m := kcm.Build(nw, nw.NodeVars(), kernels.Options{})
+	m := kcm.Build(context.Background(), nw, nw.NodeVars(), kernels.Options{})
 	batch, _ := BestK(m, Config{}, WeightValuer, 4)
 	if batch != nil {
 		t.Fatalf("got %v from kernel-free matrix", batch)

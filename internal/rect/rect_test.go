@@ -1,6 +1,7 @@
 package rect
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/kcm"
@@ -12,7 +13,7 @@ import (
 func paperMatrix(t *testing.T) (*network.Network, *kcm.Matrix) {
 	t.Helper()
 	nw := network.PaperExample()
-	m := kcm.Build(nw, nw.NodeVars(), kernels.Options{})
+	m := kcm.Build(context.Background(), nw, nw.NodeVars(), kernels.Options{})
 	return nw, m
 }
 
@@ -160,7 +161,7 @@ func TestNoProfitableRectangle(t *testing.T) {
 	// x = ab + cd has kernels only with single-cube quotients.
 	x := mustExpr(nw, "a*b + c*d")
 	nw.MustAddNode("x", x)
-	m := kcm.Build(nw, nw.NodeVars(), kernels.Options{})
+	m := kcm.Build(context.Background(), nw, nw.NodeVars(), kernels.Options{})
 	best, _ := Best(m, Config{}, WeightValuer)
 	if best.Rows != nil {
 		t.Fatalf("found rectangle %+v in unfactorable network", best)
@@ -176,7 +177,7 @@ func TestSingleNodeFactorZeroGain(t *testing.T) {
 		nw.AddInput(in)
 	}
 	nw.MustAddNode("F", mustExpr(nw, "a*b + a*c"))
-	m := kcm.Build(nw, nw.NodeVars(), kernels.Options{})
+	m := kcm.Build(context.Background(), nw, nw.NodeVars(), kernels.Options{})
 	best, _ := Best(m, Config{}, WeightValuer)
 	if best.Rows != nil {
 		t.Fatalf("zero-gain rectangle selected: %+v", best)

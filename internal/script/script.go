@@ -8,6 +8,7 @@
 package script
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/extract"
@@ -85,7 +86,7 @@ func Run(nw *network.Network, opt Options) Result {
 		phase("sweep", func() int64 { return int64(Sweep(nw)) })
 		phase("simplify", func() int64 { return int64(Simplify(nw)) })
 		phase("gkx", func() int64 {
-			r := extract.KernelExtract(nw, nil, extract.Options{
+			r := extract.KernelExtract(context.Background(), nw, nil, extract.Options{
 				Kernel: opt.Kernel, Rect: opt.Rect, BatchK: opt.BatchK,
 			})
 			return int64(r.Work.Total())
@@ -95,7 +96,7 @@ func Run(nw *network.Network, opt Options) Result {
 			return int64(r.Work.Total())
 		})
 		phase("gkx", func() int64 {
-			r := extract.KernelExtract(nw, nil, extract.Options{
+			r := extract.KernelExtract(context.Background(), nw, nil, extract.Options{
 				Kernel: opt.Kernel, Rect: opt.Rect, BatchK: opt.BatchK,
 			})
 			return int64(r.Work.Total())

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU over completed results, keyed by
+// CanonicalKey. Identical resubmissions are served from here without
+// recomputation; the stored Result (including its network) is shared
+// and must never be mutated by readers.
+type Cache struct {
+	mu sync.Mutex
+	// entries is guarded by mu.
+	entries map[string]*list.Element
+	// order is guarded by mu; front is most recently used.
+	order *list.List
+	// capacity is guarded by mu.
+	capacity int
+	// hits is guarded by mu.
+	hits int64
+	// misses is guarded by mu.
+	misses int64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// NewCache returns an LRU cache holding up to capacity results; a
+// non-positive capacity disables caching (every Get misses).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+		capacity: capacity,
+	}
+}
+
+// Get returns the cached result for key and marks it recently used.
+func (c *Cache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores res under key, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// CacheStats is the cache section of GET /v1/stats.
+type CacheStats struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// Stats reports hit/miss counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Entries:  c.order.Len(),
+		Capacity: c.capacity,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

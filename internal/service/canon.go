@@ -1,0 +1,54 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// CanonicalKey hashes the parsed network together with the job
+// parameters that influence the computation, so identical
+// resubmissions — regardless of comment, whitespace or declaration
+// formatting differences that parsing erases — map to one cache
+// entry.
+//
+// The serialization is independent of variable numbering (names are
+// written, not Var ids) and of node declaration order (nodes are
+// sorted by name); cube order inside a function follows the parsed
+// representation, so two circuits writing the same function with
+// reordered cubes hash differently. That costs a cache miss, never a
+// wrong hit.
+//
+// Spec fields that only affect reporting (Verify) are excluded; the
+// deadline is excluded too, since it bounds but does not change the
+// computation.
+func CanonicalKey(nw *network.Network, spec Spec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "algo=%s p=%d batch=%d maxcols=%d maxvisits=%d\n",
+		spec.Algo, spec.P, spec.BatchK, spec.MaxCols, spec.MaxVisits)
+	writeCanonical(h, nw)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanonical streams a canonical textual form of nw into w.
+func writeCanonical(w io.Writer, nw *network.Network) {
+	names := nw.Names
+	ins := make([]string, 0, len(nw.Inputs()))
+	for _, v := range nw.Inputs() {
+		ins = append(ins, names.Name(v))
+	}
+	sort.Strings(ins)
+	for _, n := range ins {
+		fmt.Fprintf(w, "i %s\n", n)
+	}
+	for _, v := range nw.Outputs() {
+		fmt.Fprintf(w, "o %s\n", names.Name(v))
+	}
+	for _, v := range nw.SortedNodeVars() {
+		fmt.Fprintf(w, "n %s = %s\n", names.Name(v), nw.Node(v).Fn.Format(names.Fmt()))
+	}
+}

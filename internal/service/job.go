@@ -1,0 +1,323 @@
+// Package service implements the factorization daemon behind
+// cmd/factord: a bounded job queue with admission control, a worker
+// pool that runs jobs through the internal/core drivers with
+// per-job deadlines and cooperative cancellation, an LRU result cache
+// keyed by a canonical hash of the parsed network plus parameters,
+// and an HTTP API (submit, status, result download, cancel, stats)
+// with graceful drain.
+//
+// The paper measures factorization as the dominant cost of a
+// synthesis run (~61% of SIS script time, Table 1); this package is
+// the serving layer that turns the reproduced algorithms into a
+// long-running, load-shedding service.
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/rect"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle: QUEUED -> RUNNING -> DONE | FAILED | CANCELLED, with
+// QUEUED -> CANCELLED for jobs cancelled before a worker picks them
+// up.
+const (
+	StateQueued    State = "QUEUED"
+	StateRunning   State = "RUNNING"
+	StateDone      State = "DONE"
+	StateFailed    State = "FAILED"
+	StateCancelled State = "CANCELLED"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Spec is the client-visible parameterization of one factorization
+// job.
+type Spec struct {
+	// Algo selects the algorithm: "seq", "repl", "part" or
+	// "lshape".
+	Algo string `json:"algo"`
+	// P is the virtual processor count for the parallel algorithms.
+	P int `json:"p,omitempty"`
+	// BatchK is the rectangles harvested per search enumeration
+	// (see extract.Options.BatchK).
+	BatchK int `json:"batch_k,omitempty"`
+	// MaxCols caps the rectangle search depth.
+	MaxCols int `json:"max_cols,omitempty"`
+	// MaxVisits caps the rectangle search visits.
+	MaxVisits int `json:"max_visits,omitempty"`
+	// DeadlineMS bounds the job's wall-clock run time in
+	// milliseconds; 0 takes the server default.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Verify requests a post-run simulation equivalence check of
+	// the factored network against the submitted one.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// Algorithms lists the accepted Spec.Algo values.
+func Algorithms() []string { return []string{"seq", "repl", "part", "lshape"} }
+
+// WithDefaults fills zero fields with the serving defaults.
+func (s Spec) WithDefaults() Spec {
+	if s.Algo == "" {
+		s.Algo = "seq"
+	}
+	if s.P <= 0 {
+		s.P = 4
+	}
+	if s.BatchK <= 0 {
+		s.BatchK = 16
+	}
+	if s.MaxCols <= 0 {
+		s.MaxCols = 5
+	}
+	if s.MaxVisits <= 0 {
+		s.MaxVisits = 100000
+	}
+	return s
+}
+
+// Validate rejects specs the pool cannot run.
+func (s Spec) Validate() error {
+	switch s.Algo {
+	case "seq", "repl", "part", "lshape":
+	default:
+		return fmt.Errorf("service: unknown algorithm %q (want %s)",
+			s.Algo, strings.Join(Algorithms(), "|"))
+	}
+	if s.P > 64 {
+		return fmt.Errorf("service: p=%d exceeds the 64-processor cap", s.P)
+	}
+	return nil
+}
+
+// CoreOptions translates the spec into driver options.
+func (s Spec) CoreOptions() core.Options {
+	return core.Options{
+		Rect:   rect.Config{MaxCols: s.MaxCols, MaxVisits: s.MaxVisits},
+		BatchK: s.BatchK,
+	}
+}
+
+// Result is a completed factorization: the run metrics and the
+// factored network. A Result stored in the cache is shared between
+// jobs and must be treated as immutable — readers serialize it, never
+// rewrite it.
+type Result struct {
+	// Run reports the algorithm run.
+	Run core.RunResult
+	// Net is the factored network. Immutable once the Result is
+	// published.
+	Net *network.Network
+	// Verified is set when the job requested Verify and the
+	// factored network passed the simulation equivalence check.
+	Verified bool
+}
+
+// Job is one factorization request moving through the queue, pool and
+// job table.
+type Job struct {
+	// ID is the server-assigned identifier.
+	ID string
+	// Name is the circuit name from the submission.
+	Name string
+	// Spec are the job parameters (already defaulted and
+	// validated).
+	Spec Spec
+	// Key is the canonical cache key of (parsed network, spec).
+	Key string
+	// Deadline is the job's effective run-time bound.
+	Deadline time.Duration
+
+	// nw is the parsed input network. The submitting handler writes
+	// it once; afterwards only the single worker running the job
+	// touches it, so it needs no lock.
+	nw *network.Network
+
+	mu sync.Mutex
+	// state is guarded by mu.
+	state State
+	// errMsg is guarded by mu.
+	errMsg string
+	// cancelRequested is guarded by mu.
+	cancelRequested bool
+	// cancel is guarded by mu. Non-nil only while RUNNING.
+	cancel context.CancelFunc
+	// result is guarded by mu. Non-nil only once DONE.
+	result *Result
+	// cacheHit is guarded by mu.
+	cacheHit bool
+	// submitted is guarded by mu.
+	submitted time.Time
+	// started is guarded by mu.
+	started time.Time
+	// finished is guarded by mu.
+	finished time.Time
+}
+
+// newJob returns a QUEUED job; the caller supplies an already
+// defaulted and validated spec and the parsed network.
+func newJob(id, name string, spec Spec, key string, nw *network.Network, deadline time.Duration) *Job {
+	return &Job{
+		ID:        id,
+		Name:      name,
+		Spec:      spec,
+		Key:       key,
+		Deadline:  deadline,
+		nw:        nw,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the job's result, or nil unless the job is DONE.
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.result
+}
+
+// Cancel requests cancellation. A QUEUED job goes straight to
+// CANCELLED (the pool skips it when popped); a RUNNING job has its
+// context cancelled and reaches CANCELLED at the core's next
+// iteration boundary. Terminal jobs are left alone. It reports
+// whether the request had any effect.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.cancelRequested = true
+		j.state = StateCancelled
+		j.errMsg = "cancelled before start"
+		j.finished = time.Now()
+		return true
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// begin transitions QUEUED -> RUNNING and installs the run context's
+// cancel function. It reports false (and does nothing) when the job
+// was cancelled while queued.
+func (j *Job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.started = time.Now()
+	return true
+}
+
+// finish transitions RUNNING to a terminal state.
+func (j *Job) finish(state State, res *Result, cacheHit bool, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.cacheHit = cacheHit
+	j.errMsg = errMsg
+	j.cancel = nil
+	j.finished = time.Now()
+}
+
+// wasCancelRequested reports whether a client asked to cancel the
+// job.
+func (j *Job) wasCancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelRequested
+}
+
+// Status is the wire representation of a job's state, returned by
+// GET /v1/jobs/{id}.
+type Status struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	State    State  `json:"state"`
+	Spec     Spec   `json:"spec"`
+	Error    string `json:"error,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Run metrics, present once DONE.
+	LC          int    `json:"lc,omitempty"`
+	Extracted   int    `json:"extracted,omitempty"`
+	Calls       int    `json:"calls,omitempty"`
+	VirtualTime int64  `json:"virtual_time,omitempty"`
+	TotalWork   int64  `json:"total_work,omitempty"`
+	WallMS      int64  `json:"wall_ms,omitempty"`
+	Algorithm   string `json:"algorithm,omitempty"`
+	Verified    bool   `json:"verified,omitempty"`
+}
+
+// Snapshot captures the job's current status for the API.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		Name:        j.Name,
+		State:       j.state,
+		Spec:        j.Spec,
+		Error:       j.errMsg,
+		CacheHit:    j.cacheHit,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.state == StateDone && j.result != nil {
+		st.LC = j.result.Run.LC
+		st.Extracted = j.result.Run.Extracted
+		st.Calls = j.result.Run.Calls
+		st.VirtualTime = j.result.Run.VirtualTime
+		st.TotalWork = j.result.Run.TotalWork
+		st.WallMS = j.result.Run.WallClock.Milliseconds()
+		st.Algorithm = j.result.Run.Algorithm
+		st.Verified = j.result.Verified
+	}
+	return st
+}

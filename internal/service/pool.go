@@ -1,0 +1,249 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/equiv"
+)
+
+// Pool runs queued jobs on a fixed set of worker goroutines. Each job
+// gets its own context carrying the job deadline, derived from the
+// pool's base context so a shutdown can cancel every in-flight run at
+// once; cancellation reaches the core drivers cooperatively at their
+// iteration boundaries.
+type Pool struct {
+	queue           *Queue
+	cache           *Cache
+	workers         int
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	stats *runStats
+
+	// OnJobRunning, when non-nil, observes each job right after it
+	// transitions to RUNNING and has its cancel function installed.
+	// Tests use it to cancel mid-extraction deterministically.
+	OnJobRunning func(*Job)
+}
+
+// runStats aggregates computation counters across workers.
+type runStats struct {
+	mu sync.Mutex
+	// running is guarded by mu.
+	running int
+	// computed is guarded by mu.
+	computed int64
+	// perAlgo is guarded by mu.
+	perAlgo map[string]int64
+	// totalVtime is guarded by mu.
+	totalVtime int64
+	// totalWall is guarded by mu.
+	totalWall time.Duration
+}
+
+// PoolStats is the worker-pool section of GET /v1/stats.
+type PoolStats struct {
+	Workers          int              `json:"workers"`
+	Running          int              `json:"running"`
+	Computed         int64            `json:"computed"`
+	PerAlgo          map[string]int64 `json:"per_algo"`
+	TotalVirtualTime int64            `json:"total_virtual_time"`
+	TotalWallMS      int64            `json:"total_wall_ms"`
+}
+
+// NewPool returns an unstarted pool of the given size feeding from q
+// and publishing completed computations to c.
+func NewPool(workers int, q *Queue, c *Cache, defaultDeadline, maxDeadline time.Duration) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Pool{
+		queue:           q,
+		cache:           c,
+		workers:         workers,
+		defaultDeadline: defaultDeadline,
+		maxDeadline:     maxDeadline,
+		baseCtx:         ctx,
+		baseCancel:      cancel,
+		stats:           &runStats{perAlgo: map[string]int64{}},
+	}
+}
+
+// Start launches the worker goroutines.
+func (p *Pool) Start() {
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				j, ok := p.queue.Pop()
+				if !ok {
+					return
+				}
+				p.runJob(j)
+			}
+		}()
+	}
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	s := p.stats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	per := make(map[string]int64, len(s.perAlgo))
+	for k, v := range s.perAlgo {
+		per[k] = v
+	}
+	return PoolStats{
+		Workers:          p.workers,
+		Running:          s.running,
+		Computed:         s.computed,
+		PerAlgo:          per,
+		TotalVirtualTime: s.totalVtime,
+		TotalWallMS:      s.totalWall.Milliseconds(),
+	}
+}
+
+// deadlineFor clamps the job-requested deadline into serving bounds.
+func (p *Pool) deadlineFor(j *Job) time.Duration {
+	d := j.Deadline
+	if d <= 0 {
+		d = p.defaultDeadline
+	}
+	if p.maxDeadline > 0 && d > p.maxDeadline {
+		d = p.maxDeadline
+	}
+	return d
+}
+
+// runJob executes one job to a terminal state.
+func (p *Pool) runJob(j *Job) {
+	ctx, cancel := context.WithTimeout(p.baseCtx, p.deadlineFor(j))
+	defer cancel()
+	if !j.begin(cancel) {
+		// Cancelled while queued (or otherwise already terminal).
+		return
+	}
+	if p.OnJobRunning != nil {
+		p.OnJobRunning(j)
+	}
+
+	// Serve identical resubmissions from the cache: no recomputation,
+	// the stored result is shared verbatim.
+	if res, ok := p.cache.Get(j.Key); ok {
+		p.countAlgo(j.Spec.Algo)
+		j.finish(StateDone, res, true, "")
+		return
+	}
+
+	var ref = j.nw
+	if j.Spec.Verify {
+		ref = j.nw.CloneDetached()
+	}
+
+	start := time.Now()
+	run := p.dispatch(ctx, j)
+	wall := time.Since(start)
+
+	switch {
+	case run.Cancelled && j.wasCancelRequested():
+		j.finish(StateCancelled, nil, false, "cancelled during extraction")
+	case run.Cancelled && ctx.Err() == context.DeadlineExceeded:
+		j.finish(StateFailed, nil, false, fmt.Sprintf("deadline of %v exceeded", p.deadlineFor(j)))
+	case run.Cancelled:
+		// Pool shutdown cancelled the base context.
+		j.finish(StateCancelled, nil, false, "cancelled by server shutdown")
+	case run.DNF:
+		j.finish(StateFailed, nil, false, "run exceeded its work budget")
+	default:
+		res := &Result{Run: run, Net: j.nw}
+		if j.Spec.Verify {
+			if err := equiv.Check(ref, j.nw, equiv.Options{}); err != nil {
+				j.finish(StateFailed, nil, false, fmt.Sprintf("equivalence check failed: %v", err))
+				return
+			}
+			res.Verified = true
+		}
+		p.cache.Put(j.Key, res)
+		p.countRun(j.Spec.Algo, run, wall)
+		j.finish(StateDone, res, false, "")
+	}
+}
+
+// dispatch runs the selected algorithm on the job's network while the
+// running counter is held high.
+func (p *Pool) dispatch(ctx context.Context, j *Job) core.RunResult {
+	s := p.stats
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}()
+	opt := j.Spec.CoreOptions()
+	switch j.Spec.Algo {
+	case "repl":
+		return core.Replicated(ctx, j.nw, j.Spec.P, opt)
+	case "part":
+		return core.Partitioned(ctx, j.nw, j.Spec.P, opt)
+	case "lshape":
+		return core.LShaped(ctx, j.nw, j.Spec.P, opt)
+	default:
+		return core.Sequential(ctx, j.nw, opt)
+	}
+}
+
+// countAlgo attributes one served job (cache hit included) to its
+// algorithm.
+func (p *Pool) countAlgo(algo string) {
+	s := p.stats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.perAlgo[algo]++
+}
+
+// countRun attributes one computed job to its algorithm and
+// accumulates its timings.
+func (p *Pool) countRun(algo string, run core.RunResult, wall time.Duration) {
+	s := p.stats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.perAlgo[algo]++
+	s.computed++
+	s.totalVtime += run.VirtualTime
+	s.totalWall += wall
+}
+
+// Shutdown drains the pool: the queue stops admitting and delivering,
+// still-queued jobs are cancelled immediately, and in-flight jobs get
+// up to grace to finish before their contexts are cancelled. It
+// returns once every worker has exited.
+func (p *Pool) Shutdown(grace time.Duration) {
+	for _, j := range p.queue.Close() {
+		j.Cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		p.baseCancel()
+		<-done
+	}
+	p.baseCancel()
+}

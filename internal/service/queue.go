@@ -1,0 +1,102 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Push when the queue is at capacity —
+// the admission-control signal the HTTP layer turns into 429 +
+// Retry-After.
+var ErrQueueFull = errors.New("service: queue full")
+
+// ErrQueueClosed is returned by Push once the server is draining.
+var ErrQueueClosed = errors.New("service: queue closed")
+
+// Queue is a bounded FIFO of jobs. Push never blocks — a full queue
+// is a rejection, so overload sheds instead of stacking goroutines —
+// while Pop blocks workers until a job or close arrives.
+type Queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// jobs is guarded by mu.
+	jobs []*Job
+	// capacity is guarded by mu.
+	capacity int
+	// closed is guarded by mu.
+	closed bool
+}
+
+// NewQueue returns an empty queue admitting up to capacity jobs.
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{capacity: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends j, failing fast with ErrQueueFull at capacity or
+// ErrQueueClosed after Close.
+func (q *Queue) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.jobs) >= q.capacity {
+		return ErrQueueFull
+	}
+	q.jobs = append(q.jobs, j)
+	q.cond.Signal()
+	return nil
+}
+
+// Pop removes and returns the oldest job, blocking while the queue is
+// empty. It returns ok=false once the queue is closed; jobs still
+// queued at close time are not delivered (Close returns them to the
+// caller for cancellation).
+func (q *Queue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j, true
+}
+
+// Len returns the current queue depth.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// Capacity returns the admission bound.
+func (q *Queue) Capacity() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.capacity
+}
+
+// Close stops admission and delivery, wakes every blocked Pop, and
+// returns the jobs that were still queued so the caller can mark them
+// CANCELLED.
+func (q *Queue) Close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	rem := q.jobs
+	q.jobs = nil
+	q.cond.Broadcast()
+	return rem
+}

@@ -1,0 +1,455 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blif"
+	"repro/internal/eqn"
+	"repro/internal/network"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the worker-pool size.
+	Workers int
+	// QueueCap bounds the admission queue.
+	QueueCap int
+	// CacheCap bounds the LRU result cache (entries).
+	CacheCap int
+	// MaxJobs bounds the job table; beyond it the oldest finished
+	// jobs are pruned.
+	MaxJobs int
+	// MaxBodyBytes bounds one HTTP request body.
+	MaxBodyBytes int64
+	// BlifLimits / EqnLimits bound parsed uploads.
+	BlifLimits blif.Limits
+	EqnLimits  eqn.Limits
+	// DefaultDeadline applies to jobs that request none; MaxDeadline
+	// clamps what a job may request.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// DrainGrace is how long Shutdown lets in-flight jobs finish
+	// before cancelling them.
+	DrainGrace time.Duration
+	// RetryAfter is the advisory backoff returned with 429.
+	RetryAfter time.Duration
+}
+
+// DefaultConfig returns serving defaults suitable for one host.
+func DefaultConfig() Config {
+	return Config{
+		Workers:      4,
+		QueueCap:     64,
+		CacheCap:     256,
+		MaxJobs:      10000,
+		MaxBodyBytes: 8 << 20,
+		BlifLimits: blif.Limits{
+			MaxLineBytes: 1 << 20,
+			MaxNodes:     1 << 17,
+			MaxCubes:     1 << 21,
+			MaxInputs:    1 << 16,
+		},
+		EqnLimits: eqn.Limits{
+			MaxLineBytes: 1 << 20,
+			MaxStmtBytes: 1 << 20,
+			MaxNodes:     1 << 17,
+			MaxInputs:    1 << 16,
+		},
+		DefaultDeadline: 60 * time.Second,
+		MaxDeadline:     10 * time.Minute,
+		DrainGrace:      10 * time.Second,
+		RetryAfter:      time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = d.QueueCap
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = d.CacheCap
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = d.MaxJobs
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if c.BlifLimits == (blif.Limits{}) {
+		c.BlifLimits = d.BlifLimits
+	}
+	if c.EqnLimits == (eqn.Limits{}) {
+		c.EqnLimits = d.EqnLimits
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = d.DefaultDeadline
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = d.MaxDeadline
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = d.DrainGrace
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = d.RetryAfter
+	}
+	return c
+}
+
+// Server owns the job table and wires the queue, pool and cache to
+// the HTTP API.
+type Server struct {
+	cfg   Config
+	queue *Queue
+	cache *Cache
+	pool  *Pool
+
+	draining atomic.Bool
+
+	mu sync.Mutex
+	// jobs is guarded by mu.
+	jobs map[string]*Job
+	// order is guarded by mu; submission order, for pruning.
+	order []string
+	// seq is guarded by mu.
+	seq int64
+}
+
+// NewServer builds a server (pool not yet started).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	q := NewQueue(cfg.QueueCap)
+	c := NewCache(cfg.CacheCap)
+	return &Server{
+		cfg:   cfg,
+		queue: q,
+		cache: c,
+		pool:  NewPool(cfg.Workers, q, c, cfg.DefaultDeadline, cfg.MaxDeadline),
+		jobs:  map[string]*Job{},
+	}
+}
+
+// Pool exposes the worker pool (tests install the OnJobRunning hook).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Start launches the worker pool.
+func (s *Server) Start() { s.pool.Start() }
+
+// Shutdown drains gracefully: admission stops (503), queued jobs are
+// cancelled, and in-flight jobs get the configured grace before their
+// contexts are cancelled.
+func (s *Server) Shutdown() {
+	s.draining.Store(true)
+	s.pool.Shutdown(s.cfg.DrainGrace)
+}
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	// Name labels the circuit (defaults to the parsed model name).
+	Name string `json:"name,omitempty"`
+	// Format is "blif" (default) or "eqn".
+	Format string `json:"format,omitempty"`
+	// Circuit is the circuit text in Format.
+	Circuit string `json:"circuit"`
+	// Spec parameterizes the factorization.
+	Spec
+}
+
+// SubmitResponse is the body returned by POST /v1/jobs.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Key   string `json:"key"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Queue struct {
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+	} `json:"queue"`
+	Cache CacheStats `json:"cache"`
+	Pool  PoolStats  `json:"pool"`
+	Jobs  struct {
+		Queued    int `json:"queued"`
+		Running   int `json:"running"`
+		Done      int `json:"done"`
+		Failed    int `json:"failed"`
+		Cancelled int `json:"cancelled"`
+	} `json:"jobs"`
+	Draining bool `json:"draining"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// parseCircuit parses the upload under the configured limits.
+func (s *Server) parseCircuit(req *SubmitRequest) (*network.Network, error) {
+	rd := strings.NewReader(req.Circuit)
+	switch req.Format {
+	case "", "blif":
+		return blif.ReadLimits(rd, s.cfg.BlifLimits)
+	case "eqn":
+		name := req.Name
+		if name == "" {
+			name = "eqn"
+		}
+		return eqn.ReadLimits(rd, name, s.cfg.EqnLimits)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want blif or eqn)", req.Format)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Circuit) == "" {
+		writeErr(w, http.StatusBadRequest, "empty circuit")
+		return
+	}
+	spec := req.Spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	nw, err := s.parseCircuit(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parsing circuit: %v", err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = nw.Name
+	}
+	deadline := time.Duration(spec.DeadlineMS) * time.Millisecond
+	key := CanonicalKey(nw, spec)
+	j := s.register(name, spec, key, nw, deadline)
+
+	if err := s.queue.Push(j); err != nil {
+		s.unregister(j.ID)
+		switch err {
+		case ErrQueueFull:
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
+			writeErr(w, http.StatusTooManyRequests, "queue full (depth %d); retry later", s.queue.Capacity())
+		default:
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.ID, State: j.State(), Key: key})
+}
+
+// register allocates an id, stores the job in the table, and prunes
+// old finished jobs past the retention bound.
+func (s *Server) register(name string, spec Spec, key string, nw *network.Network, deadline time.Duration) *Job {
+	j, over := s.add(name, spec, key, nw, deadline)
+	if over {
+		s.prune()
+	}
+	return j
+}
+
+// add stores a fresh job in the table and reports whether the table
+// has grown past the retention bound.
+func (s *Server) add(name string, spec Spec, key string, nw *network.Network, deadline time.Duration) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	id := fmt.Sprintf("job-%d", s.seq)
+	j := newJob(id, name, spec, key, nw, deadline)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j, len(s.jobs) > s.cfg.MaxJobs
+}
+
+// prune drops the oldest terminal jobs while the table exceeds
+// MaxJobs. Job states are read before taking the table lock —
+// server.mu is never held across a job.mu acquisition — so a job
+// finishing concurrently can survive until the next prune.
+func (s *Server) prune() {
+	terminal := map[string]bool{}
+	for _, j := range s.snapshotJobs() {
+		if j.State().Terminal() {
+			terminal[j.ID] = true
+		}
+	}
+	s.dropOldest(terminal)
+}
+
+// dropOldest deletes the oldest jobs in droppable while the table
+// exceeds MaxJobs.
+func (s *Server) dropOldest(droppable map[string]bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if _, ok := s.jobs[id]; !ok {
+			continue
+		}
+		if len(s.jobs) > s.cfg.MaxJobs && droppable[id] {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// job looks up a job by id.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	res := j.Result()
+	if res == nil {
+		writeErr(w, http.StatusConflict, "job %s is %s, not DONE", j.ID, j.State())
+		return
+	}
+	format := r.URL.Query().Get("format")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch format {
+	case "", "blif":
+		if err := blif.Write(w, res.Net); err != nil {
+			writeErr(w, http.StatusInternalServerError, "writing result: %v", err)
+		}
+	case "eqn":
+		if err := eqn.Write(w, res.Net); err != nil {
+			writeErr(w, http.StatusInternalServerError, "writing result: %v", err)
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown format %q (want blif or eqn)", format)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats assembles the full stats snapshot.
+func (s *Server) Stats() StatsResponse {
+	var resp StatsResponse
+	resp.Queue.Depth = s.queue.Len()
+	resp.Queue.Capacity = s.queue.Capacity()
+	resp.Cache = s.cache.Stats()
+	resp.Pool = s.pool.Stats()
+	resp.Draining = s.draining.Load()
+	for _, j := range s.snapshotJobs() {
+		switch j.State() {
+		case StateQueued:
+			resp.Jobs.Queued++
+		case StateRunning:
+			resp.Jobs.Running++
+		case StateDone:
+			resp.Jobs.Done++
+		case StateFailed:
+			resp.Jobs.Failed++
+		case StateCancelled:
+			resp.Jobs.Cancelled++
+		}
+	}
+	return resp
+}
+
+// snapshotJobs copies the job table out from under the lock.
+func (s *Server) snapshotJobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,490 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blif"
+	"repro/internal/core"
+	"repro/internal/equiv"
+	"repro/internal/service"
+)
+
+// paperBLIF is the paper's running example in BLIF form: F and G share
+// the divisors (a+b+c) and (f+de), so extraction has real work to do.
+const paperBLIF = `.model paperf
+.inputs a b c d e f g
+.outputs F G
+.names a b c d e f g F
+1----1- 1
+-1---1- 1
+1-----1 1
+--1---1 1
+1--11-- 1
+-1-11-- 1
+--111-- 1
+.names a b c d e f g G
+1----1- 1
+-1---1- 1
+--1--1- 1
+1-----1 1
+-1----1 1
+.end
+`
+
+type harness struct {
+	srv  *service.Server
+	http *httptest.Server
+}
+
+func newHarness(t *testing.T, cfg service.Config) *harness {
+	t.Helper()
+	srv := service.NewServer(cfg)
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Shutdown()
+	})
+	return &harness{srv: srv, http: ts}
+}
+
+func (h *harness) submit(t *testing.T, req service.SubmitRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(h.http.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func (h *harness) submitOK(t *testing.T, req service.SubmitRequest) service.SubmitResponse {
+	t.Helper()
+	resp, data := h.submit(t, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: got %s, want 202: %s", resp.Status, data)
+	}
+	var sub service.SubmitResponse
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+func (h *harness) status(t *testing.T, id string) service.Status {
+	t.Helper()
+	resp, err := http.Get(h.http.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: got %s", id, resp.Status)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func (h *harness) waitTerminal(t *testing.T, id string, within time.Duration) service.Status {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		st := h.status(t, id)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, st.State, within)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (h *harness) stats(t *testing.T) service.StatsResponse {
+	t.Helper()
+	resp, err := http.Get(h.http.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSubmitMatchesDirectExtract submits the paper circuit, downloads
+// the factored BLIF, and checks it is simulation-equivalent both to
+// the input and to a direct core.Sequential run with the same
+// parameters.
+func TestSubmitMatchesDirectExtract(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 2})
+	sub := h.submitOK(t, service.SubmitRequest{
+		Circuit: paperBLIF,
+		Spec:    service.Spec{Algo: "seq", Verify: true},
+	})
+	st := h.waitTerminal(t, sub.ID, 30*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("job ended %s (%s), want DONE", st.State, st.Error)
+	}
+	if !st.Verified {
+		t.Fatalf("job did not report verified")
+	}
+	if st.CacheHit {
+		t.Fatalf("first submission reported a cache hit")
+	}
+
+	resp, err := http.Get(h.http.URL + "/v1/jobs/" + sub.ID + "/result?format=blif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: got %s", resp.Status)
+	}
+	got, err := blif.Read(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing downloaded result: %v", err)
+	}
+
+	ref, err := blif.Read(strings.NewReader(paperBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equiv.Check(ref, got, equiv.Options{}); err != nil {
+		t.Fatalf("service output not equivalent to input: %v", err)
+	}
+
+	direct, err := blif.Read(strings.NewReader(paperBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := service.Spec{Algo: "seq"}.WithDefaults()
+	run := core.Sequential(context.Background(), direct, spec.CoreOptions())
+	if run.DNF || run.Cancelled {
+		t.Fatalf("direct run did not finish: %+v", run)
+	}
+	if err := equiv.Check(direct, got, equiv.Options{}); err != nil {
+		t.Fatalf("service output not equivalent to direct extract: %v", err)
+	}
+	if st.LC != run.LC {
+		t.Errorf("service LC %d != direct LC %d", st.LC, run.LC)
+	}
+}
+
+// TestResubmitHitsCache submits the identical circuit+spec twice and
+// checks the second job is served from the cache, per job status and
+// the stats endpoint.
+func TestResubmitHitsCache(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 2})
+	req := service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}}
+
+	first := h.submitOK(t, req)
+	st1 := h.waitTerminal(t, first.ID, 30*time.Second)
+	if st1.State != service.StateDone {
+		t.Fatalf("first job ended %s (%s)", st1.State, st1.Error)
+	}
+	if st1.CacheHit {
+		t.Fatalf("first job reported a cache hit")
+	}
+
+	second := h.submitOK(t, req)
+	if second.Key != first.Key {
+		t.Fatalf("identical submissions got different keys:\n%s\n%s", first.Key, second.Key)
+	}
+	st2 := h.waitTerminal(t, second.ID, 30*time.Second)
+	if st2.State != service.StateDone {
+		t.Fatalf("second job ended %s (%s)", st2.State, st2.Error)
+	}
+	if !st2.CacheHit {
+		t.Fatalf("identical resubmission was recomputed")
+	}
+	if st2.LC != st1.LC {
+		t.Fatalf("cache hit LC %d != computed LC %d", st2.LC, st1.LC)
+	}
+
+	stats := h.stats(t)
+	if stats.Cache.Hits < 1 {
+		t.Fatalf("stats report %d cache hits, want >= 1", stats.Cache.Hits)
+	}
+	if stats.Pool.Computed != 1 {
+		t.Fatalf("stats report %d computed jobs, want 1", stats.Pool.Computed)
+	}
+	if stats.Pool.PerAlgo["seq"] != 2 {
+		t.Fatalf("stats report %d seq jobs, want 2", stats.Pool.PerAlgo["seq"])
+	}
+
+	// A different spec must miss: same circuit, different algorithm.
+	other := h.submitOK(t, service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "lshape", P: 2}})
+	if other.Key == first.Key {
+		t.Fatalf("different spec produced the same canonical key")
+	}
+	st3 := h.waitTerminal(t, other.ID, 30*time.Second)
+	if st3.State != service.StateDone {
+		t.Fatalf("lshape job ended %s (%s)", st3.State, st3.Error)
+	}
+	if st3.CacheHit {
+		t.Fatalf("different spec was served from the cache")
+	}
+}
+
+// TestCancelMidExtraction cancels a job right as it transitions to
+// RUNNING — before the core's first cancellation checkpoint — and
+// checks it reaches CANCELLED well within its deadline.
+func TestCancelMidExtraction(t *testing.T) {
+	for _, algo := range []string{"seq", "repl", "part", "lshape"} {
+		t.Run(algo, func(t *testing.T) {
+			h := newHarness(t, service.Config{Workers: 1})
+			running := make(chan string, 1)
+			cancelled := make(chan struct{})
+			h.srv.Pool().OnJobRunning = func(j *service.Job) {
+				// Hold the worker between RUNNING and dispatch until the
+				// test has issued the cancel, so the core provably starts
+				// with a cancellation pending and must notice it at its
+				// first checkpoint.
+				select {
+				case running <- j.ID:
+				default:
+				}
+				<-cancelled
+			}
+			sub := h.submitOK(t, service.SubmitRequest{
+				Circuit: paperBLIF,
+				Spec:    service.Spec{Algo: algo, P: 2, DeadlineMS: 60000},
+			})
+			select {
+			case id := <-running:
+				if id != sub.ID {
+					t.Fatalf("unexpected running job %s", id)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("job never started running")
+			}
+			req, err := http.NewRequest(http.MethodDelete, h.http.URL+"/v1/jobs/"+sub.ID, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			close(cancelled)
+
+			st := h.waitTerminal(t, sub.ID, 10*time.Second)
+			if st.State != service.StateCancelled {
+				t.Fatalf("job ended %s (%s), want CANCELLED", st.State, st.Error)
+			}
+		})
+	}
+}
+
+// TestQueueFullRejectsWith429 fills the queue behind a deliberately
+// blocked worker and checks the next submission is shed with 429 and
+// a Retry-After header.
+func TestQueueFullRejectsWith429(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 1, QueueCap: 1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	h.srv.Pool().OnJobRunning = func(j *service.Job) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	defer close(release)
+
+	req := service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}}
+	h.submitOK(t, req) // picked up by the (blocked) worker
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked up the first job")
+	}
+	h.submitOK(t, req) // sits in the queue, filling it
+
+	resp, data := h.submit(t, req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit: got %s, want 429: %s", resp.Status, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 response missing Retry-After header")
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &apiErr); err != nil || apiErr.Error == "" {
+		t.Fatalf("429 body not a JSON error: %s", data)
+	}
+}
+
+// TestDrainRejectsNewWork checks that Shutdown flips the server to
+// draining: new submissions get 503 and queued jobs are cancelled.
+func TestDrainRejectsNewWork(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 1, QueueCap: 4, DrainGrace: 5 * time.Second})
+	h.srv.Shutdown()
+	resp, data := h.submit(t, service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: got %s, want 503: %s", resp.Status, data)
+	}
+	if !h.stats(t).Draining {
+		t.Fatalf("stats do not report draining")
+	}
+}
+
+// TestBadSubmissions exercises the 400 paths.
+func TestBadSubmissions(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 1})
+	cases := []struct {
+		name string
+		req  service.SubmitRequest
+	}{
+		{"empty circuit", service.SubmitRequest{Spec: service.Spec{Algo: "seq"}}},
+		{"bad algorithm", service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "quantum"}}},
+		{"bad format", service.SubmitRequest{Circuit: paperBLIF, Format: "verilog", Spec: service.Spec{Algo: "seq"}}},
+		{"malformed blif", service.SubmitRequest{Circuit: ".model x\n.names y\nbogus cover\n.end\n", Spec: service.Spec{Algo: "seq"}}},
+		{"oversized p", service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "repl", P: 1000}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := h.submit(t, tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("got %s, want 400: %s", resp.Status, data)
+			}
+		})
+	}
+	if resp, _ := http.Get(h.http.URL + "/v1/jobs/job-999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: got %s, want 404", resp.Status)
+	}
+}
+
+// TestJobTablePruning checks that finished jobs are dropped oldest
+// first once the table exceeds MaxJobs, while recent jobs stay
+// queryable.
+func TestJobTablePruning(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 1, MaxJobs: 3})
+	var first, last string
+	for i := 0; i < 8; i++ {
+		sub := h.submitOK(t, service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+		st := h.waitTerminal(t, sub.ID, 30*time.Second)
+		if st.State != service.StateDone {
+			t.Fatalf("job %s ended %s (%s)", sub.ID, st.State, st.Error)
+		}
+		if first == "" {
+			first = sub.ID
+		}
+		last = sub.ID
+	}
+	if resp, err := http.Get(h.http.URL + "/v1/jobs/" + first); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest job %s still present: %s", first, resp.Status)
+	}
+	if resp, err := http.Get(h.http.URL + "/v1/jobs/" + last); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusOK {
+		t.Errorf("newest job %s not queryable: %s", last, resp.Status)
+	}
+}
+
+// TestEqnRoundTripThroughService submits an EQN circuit and downloads
+// the result in EQN form.
+func TestEqnRoundTripThroughService(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 1})
+	eqnSrc := "INORDER = a b c d e f g;\nOUTORDER = F;\nF = a*f + b*f + a*g + c*g + a*d*e + b*d*e + c*d*e;\n"
+	sub := h.submitOK(t, service.SubmitRequest{
+		Circuit: eqnSrc,
+		Format:  "eqn",
+		Name:    "papereqn",
+		Spec:    service.Spec{Algo: "part", P: 2, Verify: true},
+	})
+	st := h.waitTerminal(t, sub.ID, 30*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("job ended %s (%s), want DONE", st.State, st.Error)
+	}
+	resp, err := http.Get(h.http.URL + "/v1/jobs/" + sub.ID + "/result?format=eqn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: got %s: %s", resp.Status, body)
+	}
+	if !strings.Contains(string(body), "INORDER") {
+		t.Fatalf("result does not look like an EQN file:\n%s", body)
+	}
+}
+
+// TestConcurrentLoad hammers a small server with a mix of algorithms
+// and circuits; run with -race this doubles as the data-race check on
+// the queue/pool/cache/job table.
+func TestConcurrentLoad(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 4, QueueCap: 64})
+	algos := []string{"seq", "repl", "part", "lshape"}
+	const n = 12
+	ids := make(chan string, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			// The model name is not part of the canonical key, so jobs
+			// sharing an algorithm share a key: the load deliberately
+			// races concurrent computes and cache hits on one entry.
+			circuit := strings.Replace(paperBLIF, ".model paperf",
+				fmt.Sprintf(".model paperf%d", i), 1)
+			body, _ := json.Marshal(service.SubmitRequest{
+				Circuit: circuit,
+				Spec:    service.Spec{Algo: algos[i%len(algos)], P: 2},
+			})
+			resp, err := http.Post(h.http.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var sub service.SubmitResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+				errs <- err
+				return
+			}
+			ids <- sub.ID
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case id := <-ids:
+			st := h.waitTerminal(t, id, 60*time.Second)
+			if st.State != service.StateDone {
+				t.Fatalf("job %s ended %s (%s)", id, st.State, st.Error)
+			}
+		}
+	}
+	stats := h.stats(t)
+	if stats.Jobs.Done != n {
+		t.Fatalf("stats report %d done jobs, want %d", stats.Jobs.Done, n)
+	}
+}

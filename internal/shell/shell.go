@@ -7,6 +7,7 @@ package shell
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -292,13 +293,13 @@ func (s *Shell) gkx(args []string) error {
 	var res core.RunResult
 	switch algo {
 	case "seq":
-		res = core.Sequential(s.nw, s.opt)
+		res = core.Sequential(context.Background(), s.nw, s.opt)
 	case "repl":
-		res = core.Replicated(s.nw, p, s.opt)
+		res = core.Replicated(context.Background(), s.nw, p, s.opt)
 	case "part":
-		res = core.Partitioned(s.nw, p, s.opt)
+		res = core.Partitioned(context.Background(), s.nw, p, s.opt)
 	case "lshape":
-		res = core.LShaped(s.nw, p, s.opt)
+		res = core.LShaped(context.Background(), s.nw, p, s.opt)
 	default:
 		return fmt.Errorf("unknown algorithm %q", algo)
 	}

@@ -6,6 +6,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -87,7 +88,7 @@ func (h *Harness) Sequential(name string) core.RunResult {
 		return r
 	}
 	nw := h.Circuit(name)
-	r := core.Sequential(nw, h.cfg.Opt)
+	r := core.Sequential(context.Background(), nw, h.cfg.Opt)
 	h.seq[name] = r
 	return r
 }
@@ -195,10 +196,10 @@ func (h *Harness) Table2() []AlgoRow {
 		row := AlgoRow{Name: name, Runs: map[int]core.RunResult{}}
 		nw := h.Circuit(name)
 		row.InitialLC = nw.Literals()
-		row.Base = core.Replicated(nw, 1, opt)
+		row.Base = core.Replicated(context.Background(), nw, 1, opt)
 		for _, p := range h.cfg.Procs {
 			nw := h.Circuit(name)
-			row.Runs[p] = core.Replicated(nw, p, opt)
+			row.Runs[p] = core.Replicated(context.Background(), nw, p, opt)
 		}
 		rows = append(rows, row)
 	}
@@ -215,7 +216,7 @@ func (h *Harness) Table3() []AlgoRow {
 		row.Base = h.Sequential(name)
 		for _, p := range h.cfg.Procs {
 			nw := h.Circuit(name)
-			row.Runs[p] = core.Partitioned(nw, p, h.cfg.Opt)
+			row.Runs[p] = core.Partitioned(context.Background(), nw, p, h.cfg.Opt)
 		}
 		rows = append(rows, row)
 	}
@@ -232,7 +233,7 @@ func (h *Harness) Table6() []AlgoRow {
 		row.Base = h.Sequential(name)
 		for _, p := range h.cfg.Procs {
 			nw := h.Circuit(name)
-			row.Runs[p] = core.LShaped(nw, p, h.cfg.Opt)
+			row.Runs[p] = core.LShaped(context.Background(), nw, p, h.cfg.Opt)
 		}
 		rows = append(rows, row)
 	}
@@ -364,7 +365,7 @@ func SpeedupModel(p int, alpha, gamma float64) float64 {
 // k-way L-shaped matrices, returning α (full matrix sparsity) and γ
 // (mean L-matrix sparsity).
 func MeasuredSparsity(nw *network.Network, k int, kopts kernels.Options, popts partition.Options) (alpha, gamma float64) {
-	full := kcm.Build(nw, nw.NodeVars(), kopts)
+	full := kcm.Build(context.Background(), nw, nw.NodeVars(), kopts)
 	alpha = full.Sparsity()
 	parts := partition.KWay(nw, nil, k, popts)
 	mats := lshape.BuildMatrices(nw, parts, kopts)
@@ -402,7 +403,7 @@ func (h *Harness) SpeedupModelTable(name string) []ModelRow {
 	for _, p := range h.cfg.Procs {
 		nw := h.Circuit(name)
 		alpha, gamma := MeasuredSparsity(nw, p, h.cfg.Opt.Kernel, h.cfg.Opt.Partition)
-		run := core.LShaped(nw, p, h.cfg.Opt)
+		run := core.LShaped(context.Background(), nw, p, h.cfg.Opt)
 		rows = append(rows, ModelRow{
 			P:        p,
 			Alpha:    alpha,
