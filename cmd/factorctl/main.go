@@ -2,17 +2,21 @@
 //
 // Usage:
 //
-//	factorctl [-addr URL] submit [-algo seq|repl|part|lshape] [-p N]
-//	          [-format blif|eqn] [-name NAME] [-deadline-ms N]
+//	factorctl [-addr URL] [-retries N] submit [-algo seq|repl|part|lshape]
+//	          [-p N] [-format blif|eqn] [-name NAME] [-deadline-ms N]
 //	          [-verify] [-wait] [-interval D] FILE
-//	factorctl [-addr URL] status JOB
-//	factorctl [-addr URL] wait [-interval D] JOB
+//	factorctl [-addr URL] [-retries N] status JOB
+//	factorctl [-addr URL] [-retries N] wait [-interval D] JOB
 //	factorctl [-addr URL] result [-format blif|eqn] [-o FILE] JOB
 //	factorctl [-addr URL] cancel JOB
-//	factorctl [-addr URL] stats
+//	factorctl [-addr URL] [-retries N] stats
 //
 // The server address defaults to $FACTORD_ADDR, then
 // http://127.0.0.1:8455.
+//
+// Submissions and polls retry on 429 (queue full), 503 (draining) and
+// transport errors with jittered exponential backoff, honoring the
+// server's Retry-After header when present; -retries 0 disables.
 package main
 
 import (
@@ -21,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -43,13 +49,15 @@ func usage() {
 
 func main() {
 	var addr string
+	var retries int
 	flag.StringVar(&addr, "addr", defaultAddr(), "factord base URL")
+	flag.IntVar(&retries, "retries", 4, "attempts to retry retriable requests (0 disables)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
-	c := &client{base: strings.TrimRight(addr, "/")}
+	c := &client{base: strings.TrimRight(addr, "/"), retries: retries}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
@@ -76,8 +84,72 @@ func main() {
 
 // client wraps the factord HTTP API.
 type client struct {
-	base string
-	http http.Client
+	base    string
+	http    http.Client
+	retries int
+}
+
+// Backoff bounds for retriable requests.
+const (
+	ctlBaseDelay = 200 * time.Millisecond
+	ctlMaxDelay  = 5 * time.Second
+)
+
+// retriable reports whether an attempt's outcome is worth retrying:
+// transport-level errors (server restarting, connection reset) and
+// the server's load-shedding responses.
+func retriable(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	return resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable
+}
+
+// backoff picks the sleep before retry number attempt (0-based):
+// the server's Retry-After if it sent one, otherwise exponential
+// backoff with jitter in [d/2, d] so a herd of clients spreads out.
+func backoff(attempt int, resp *http.Response) time.Duration {
+	if resp != nil {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				return time.Duration(secs) * time.Second
+			}
+		}
+	}
+	d := ctlBaseDelay << attempt
+	if d > ctlMaxDelay || d <= 0 {
+		d = ctlMaxDelay
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// doRetry runs attempt (which must build a fresh request each call,
+// including its body) until it returns a non-retriable outcome or the
+// retry budget is spent. The final response (or error) is the
+// caller's to handle either way.
+func (c *client) doRetry(attempt func() (*http.Response, error)) (*http.Response, error) {
+	for n := 0; ; n++ {
+		resp, err := attempt()
+		if n >= c.retries || !retriable(resp, err) {
+			return resp, err
+		}
+		d := backoff(n, resp)
+		if resp != nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+		}
+		fmt.Fprintf(os.Stderr, "factorctl: retrying in %v (%s)\n", d.Round(time.Millisecond), attemptOutcome(resp, err))
+		time.Sleep(d)
+	}
+}
+
+// attemptOutcome describes a retriable outcome for the progress line.
+func attemptOutcome(resp *http.Response, err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return resp.Status
 }
 
 // apiErr extracts the server's {"error": ...} body for non-2xx codes.
@@ -93,7 +165,9 @@ func apiErr(resp *http.Response) error {
 }
 
 func (c *client) getJSON(path string, out any) error {
-	resp, err := c.http.Get(c.base + path)
+	resp, err := c.doRetry(func() (*http.Response, error) {
+		return c.http.Get(c.base + path)
+	})
 	if err != nil {
 		return err
 	}
@@ -110,7 +184,9 @@ func (c *client) submit(req service.SubmitRequest) (service.SubmitResponse, erro
 	if err != nil {
 		return out, err
 	}
-	resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := c.doRetry(func() (*http.Response, error) {
+		return c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	})
 	if err != nil {
 		return out, err
 	}

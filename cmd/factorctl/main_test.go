@@ -1,0 +1,110 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func TestRetriableClassification(t *testing.T) {
+	cases := []struct {
+		code int
+		want bool
+	}{
+		{http.StatusOK, false},
+		{http.StatusAccepted, false},
+		{http.StatusBadRequest, false},
+		{http.StatusNotFound, false},
+		{http.StatusTooManyRequests, true},
+		{http.StatusServiceUnavailable, true},
+	}
+	for _, c := range cases {
+		if got := retriable(&http.Response{StatusCode: c.code}, nil); got != c.want {
+			t.Errorf("retriable(%d) = %v, want %v", c.code, got, c.want)
+		}
+	}
+	if !retriable(nil, http.ErrHandlerTimeout) {
+		t.Error("transport errors must be retriable")
+	}
+}
+
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	resp := &http.Response{Header: http.Header{"Retry-After": []string{"2"}}}
+	if d := backoff(0, resp); d != 2*time.Second {
+		t.Fatalf("backoff with Retry-After: %v, want 2s", d)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	for n := 0; n < 12; n++ {
+		d := backoff(n, nil)
+		lo, hi := ctlBaseDelay<<n/2, ctlBaseDelay<<n
+		if hi > ctlMaxDelay || hi <= 0 {
+			lo, hi = ctlMaxDelay/2, ctlMaxDelay
+		}
+		if d < lo || d > hi {
+			t.Fatalf("backoff(%d) = %v, want in [%v, %v]", n, d, lo, hi)
+		}
+	}
+}
+
+func TestSubmitRetriesUntilAdmitted(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"job-1","state":"QUEUED","key":"k"}`))
+	}))
+	defer ts.Close()
+	c := &client{base: ts.URL, retries: 4}
+	sub, err := c.submit(service.SubmitRequest{Circuit: ".model m\n.end\n"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if sub.ID != "job-1" || calls != 3 {
+		t.Fatalf("got id %q after %d calls, want job-1 after 3", sub.ID, calls)
+	}
+}
+
+func TestSubmitStopsWhenBudgetSpent(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"draining"}`))
+	}))
+	defer ts.Close()
+	c := &client{base: ts.URL, retries: 2}
+	if _, err := c.submit(service.SubmitRequest{Circuit: "x"}); err == nil {
+		t.Fatal("submit against a draining server must fail after its retries")
+	}
+	if calls != 3 {
+		t.Fatalf("made %d calls, want 3 (initial + 2 retries)", calls)
+	}
+}
+
+func TestNonRetriableErrorIsImmediate(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad circuit"}`))
+	}))
+	defer ts.Close()
+	c := &client{base: ts.URL, retries: 4}
+	if _, err := c.submit(service.SubmitRequest{Circuit: "x"}); err == nil {
+		t.Fatal("a 400 must fail immediately")
+	}
+	if calls != 1 {
+		t.Fatalf("made %d calls, want 1 (no retries on 400)", calls)
+	}
+}

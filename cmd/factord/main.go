@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -37,6 +38,7 @@ func main() {
 		grace    = flag.Duration("grace", 10*time.Second, "drain grace for in-flight jobs on shutdown")
 	)
 	flag.Parse()
+	fault.InitFromEnv()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: factord [flags]\n")
 		flag.PrintDefaults()

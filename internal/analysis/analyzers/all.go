@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis/analyzers/indexinvalidate"
 	"repro/internal/analysis/analyzers/lockdiscipline"
 	"repro/internal/analysis/analyzers/maporder"
+	"repro/internal/analysis/analyzers/panicguard"
 	"repro/internal/analysis/analyzers/vtimecharge"
 )
 
@@ -17,6 +18,7 @@ func All() []*analysis.Analyzer {
 		indexinvalidate.Analyzer,
 		lockdiscipline.Analyzer,
 		maporder.Analyzer,
+		panicguard.Analyzer,
 		vtimecharge.Analyzer,
 	}
 }

@@ -1,0 +1,72 @@
+// Package panicguard requires every goroutine spawned in a package
+// whose doc carries "//repolint:crash-tolerant" to run behind the
+// recover wrapper (core.Guard): a panic in a bare goroutine kills the
+// whole process, while a guarded one becomes a structured
+// WorkerFailure the drivers and the service retry ladder can recover
+// from. The fault-injection chaos lane only proves the paths it
+// exercises; this analyzer proves nobody quietly adds an unguarded
+// spawn between runs.
+//
+// A spawn that genuinely cannot panic (or must not absorb one) is
+// suppressed the usual way:
+//
+//	//repolint:allow panicguard -- <why this goroutine needs no guard>
+package panicguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags unguarded go statements in crash-tolerant packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicguard",
+	Doc: `every go statement in a //repolint:crash-tolerant package must call the Guard recover wrapper
+
+A bare "go f()" turns any panic in f into a process crash; spawning
+with "go Guard(algo, worker, sink, f)" converts it into a structured
+WorkerFailure that the crash-tolerant drivers requeue, redistribute,
+or surface for the service retry ladder.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageAnnotated(pass.Files, "crash-tolerant") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !isGuardCall(pass, gs.Call) {
+				pass.Reportf(gs.Go,
+					"goroutine spawned without the recover wrapper in a crash-tolerant package; spawn it as go Guard(...) so a panic becomes a WorkerFailure instead of a process crash")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isGuardCall reports whether the spawned call resolves to a function
+// named Guard — the core package's recover wrapper, or a same-shaped
+// local one in test fixtures. Matching by resolved *types.Func (not
+// by spelling) means aliasing tricks like g := someFunc; go g() are
+// still flagged unless g really is Guard.
+func isGuardCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok && fn.Name() == "Guard"
+}

@@ -1,0 +1,12 @@
+package panicguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/analyzers/panicguard"
+)
+
+func TestPanicGuard(t *testing.T) {
+	analysistest.Run(t, panicguard.Analyzer, "testdata/src/a")
+}

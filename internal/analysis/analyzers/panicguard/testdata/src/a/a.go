@@ -1,0 +1,56 @@
+// Package a exercises the panicguard analyzer: guarded and unguarded
+// spawns, aliasing, selector calls, and the justified suppression.
+//
+//repolint:crash-tolerant
+package a
+
+// Guard mimics the core recover wrapper.
+func Guard(algorithm string, worker int, sink func(any), fn func()) {
+	defer func() { recover() }()
+	fn()
+}
+
+// worker is some goroutine body.
+func worker() {}
+
+// GuardedSpawn is the required idiom.
+func GuardedSpawn() {
+	go Guard("a", 0, nil, worker)
+}
+
+// BareClosure spawns an unprotected function literal.
+func BareClosure() {
+	go func() {}() // want `goroutine spawned without the recover wrapper`
+}
+
+// BareNamed spawns an unprotected named function.
+func BareNamed() {
+	go worker() // want `goroutine spawned without the recover wrapper`
+}
+
+// Aliased hides the bare spawn behind a variable; resolution by type
+// object still flags it.
+func Aliased() {
+	g := worker
+	go g() // want `goroutine spawned without the recover wrapper`
+}
+
+// runner carries Guard as a method to prove selector calls resolve.
+type runner struct{}
+
+// Guard mirrors the wrapper as a method.
+func (runner) Guard(algorithm string, worker int, sink func(any), fn func()) {
+	defer func() { recover() }()
+	fn()
+}
+
+// MethodGuard spawns through a selector.
+func MethodGuard(r runner) {
+	go r.Guard("a", 0, nil, worker)
+}
+
+// Suppressed documents a goroutine that deliberately runs bare.
+func Suppressed() {
+	//repolint:allow panicguard -- fixture: the body is a single channel close and cannot panic
+	go worker()
+}

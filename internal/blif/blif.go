@@ -14,6 +14,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/sop"
 )
@@ -70,6 +71,9 @@ func Read(r io.Reader) (*network.Network, error) {
 // ReadLimits parses a BLIF model into a network, rejecting input that
 // exceeds lim. This is the entry point for untrusted input.
 func ReadLimits(r io.Reader, lim Limits) (*network.Network, error) {
+	if err := fault.InjectErr(fault.PointBlifRead); err != nil {
+		return nil, err
+	}
 	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
 	buf := 64 * 1024

@@ -1,0 +1,230 @@
+//go:build faultinject
+
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/equiv"
+	"repro/internal/fault"
+	"repro/internal/network"
+)
+
+// The chaos lane's driver-level contract: a fault injected at any
+// named point leaves the network function-equivalent to the input,
+// never deadlocks the run, and is either absorbed in-driver
+// (Recovered > 0, Failure nil) or surfaced as a structured failure
+// for the service ladder (Failure != nil).
+
+// runChaos runs fn with a watchdog so an injection that deadlocks a
+// barrier fails the test instead of hanging the lane.
+func runChaos(t *testing.T, fn func() RunResult) RunResult {
+	t.Helper()
+	done := make(chan RunResult, 1)
+	go func() { done <- fn() }()
+	select {
+	case res := <-done:
+		return res
+	case <-time.After(30 * time.Second):
+		t.Fatal("driver deadlocked under injected fault")
+		return RunResult{}
+	}
+}
+
+func panicPlan(point string, after int) fault.Plan {
+	return fault.Plan{Points: map[string]fault.PointConfig{
+		point: {Mode: fault.ModePanic, After: after, Count: 1},
+	}}
+}
+
+func TestReplicatedPanicAtEveryPoint(t *testing.T) {
+	points := []string{
+		fault.PointReplicatedMatrix,
+		fault.PointReplicatedSearch,
+		fault.PointReplicatedDivide,
+		fault.PointReplicatedBarrier,
+	}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			defer fault.Reset()
+			fault.Set(panicPlan(point, 2))
+			nw := network.PaperExample()
+			ref := nw.Clone()
+			res := runChaos(t, func() RunResult {
+				return Replicated(context.Background(), nw, 4, Options{})
+			})
+			if fault.Fired(point) != 1 {
+				t.Fatalf("point %s fired %d times", point, fault.Fired(point))
+			}
+			if res.Failure == nil {
+				t.Fatal("lockstep replicas cannot absorb a lost worker; want Failure")
+			}
+			var wf *WorkerFailure
+			if !errors.As(res.Failure, &wf) || wf.Cause != CausePanic {
+				t.Fatalf("Failure = %v, want a panic WorkerFailure", res.Failure)
+			}
+			if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+				t.Fatalf("network diverged after recovered panic: %v", err)
+			}
+		})
+	}
+}
+
+func TestReplicatedStragglerAbortsInsteadOfDeadlock(t *testing.T) {
+	defer fault.Reset()
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointReplicatedBarrier: {Mode: fault.ModeDelay, Count: 1, Delay: 700 * time.Millisecond},
+	}})
+	nw := network.PaperExample()
+	ref := nw.Clone()
+	res := runChaos(t, func() RunResult {
+		return Replicated(context.Background(), nw, 4, Options{BarrierDeadline: 100 * time.Millisecond})
+	})
+	var wf *WorkerFailure
+	if !errors.As(res.Failure, &wf) || wf.Cause != CauseStraggler {
+		t.Fatalf("Failure = %v, want a straggler WorkerFailure", res.Failure)
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatalf("network diverged after straggler abort: %v", err)
+	}
+}
+
+func TestPartitionedRequeuesLostPartition(t *testing.T) {
+	// Baseline without faults, for the determinism cross-check: a
+	// retried partition redoes identical work, so the factored
+	// result must match the undisturbed run exactly.
+	base := network.PaperExample()
+	baseRes := Partitioned(context.Background(), base, 4, Options{})
+
+	defer fault.Reset()
+	fault.Set(panicPlan(fault.PointPartitionedExtract, 2))
+	nw := network.PaperExample()
+	ref := nw.Clone()
+	res := runChaos(t, func() RunResult {
+		return Partitioned(context.Background(), nw, 4, Options{})
+	})
+	if res.Failure != nil {
+		t.Fatalf("requeue should absorb one panic; got Failure %v", res.Failure)
+	}
+	if res.Recovered < 1 {
+		t.Fatalf("Recovered = %d, want >= 1", res.Recovered)
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatalf("network diverged after requeue: %v", err)
+	}
+	if res.LC != baseRes.LC || res.Extracted != baseRes.Extracted {
+		t.Fatalf("recovered run (LC %d, extracted %d) differs from fault-free run (LC %d, extracted %d)",
+			res.LC, res.Extracted, baseRes.LC, baseRes.Extracted)
+	}
+}
+
+func TestPartitionedGivesUpPartitionAfterMaxAttempts(t *testing.T) {
+	defer fault.Reset()
+	// Every extract attempt dies, forever: each partition burns its
+	// whole retry budget and the run must give up rather than loop.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointPartitionedExtract: {Mode: fault.ModePanic, After: 1, Count: 1 << 20},
+	}})
+	nw := network.PaperExample()
+	ref := nw.Clone()
+	res := runChaos(t, func() RunResult {
+		return Partitioned(context.Background(), nw, 4, Options{})
+	})
+	if res.Failure == nil {
+		t.Fatal("an exhausted partition must surface as Failure")
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatalf("network diverged after giving a partition up: %v", err)
+	}
+}
+
+func TestPartitionedMergePanicStaysEquivalent(t *testing.T) {
+	defer fault.Reset()
+	fault.Set(panicPlan(fault.PointPartitionedMerge, 2))
+	nw := network.PaperExample()
+	ref := nw.Clone()
+	res := runChaos(t, func() RunResult {
+		return Partitioned(context.Background(), nw, 4, Options{})
+	})
+	if res.Failure == nil {
+		t.Fatal("a lost merge must surface as Failure")
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatalf("network diverged after merge panic: %v", err)
+	}
+}
+
+func TestLShapedRecoversAtEveryPoint(t *testing.T) {
+	points := []string{
+		fault.PointLShapedMatrix,
+		fault.PointLShapedCover,
+		fault.PointLShapedForward,
+	}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			defer fault.Reset()
+			fault.Set(panicPlan(point, 1))
+			nw := network.PaperExample()
+			ref := nw.Clone()
+			res := runChaos(t, func() RunResult {
+				return LShaped(context.Background(), nw, 4, Options{})
+			})
+			if fault.Fired(point) != 1 {
+				t.Fatalf("point %s fired %d times", point, fault.Fired(point))
+			}
+			if res.Failure != nil {
+				t.Fatalf("survivors should absorb one lost worker; got Failure %v", res.Failure)
+			}
+			if res.Recovered < 1 {
+				t.Fatalf("Recovered = %d, want >= 1", res.Recovered)
+			}
+			if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+				t.Fatalf("network diverged after recovery: %v", err)
+			}
+		})
+	}
+}
+
+func TestLShapedStragglerRedistributesPartitions(t *testing.T) {
+	defer fault.Reset()
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointLShapedCover: {Mode: fault.ModeDelay, Count: 1, Delay: 600 * time.Millisecond},
+	}})
+	nw := network.PaperExample()
+	ref := nw.Clone()
+	res := runChaos(t, func() RunResult {
+		return LShaped(context.Background(), nw, 4, Options{BarrierDeadline: 120 * time.Millisecond})
+	})
+	if res.Failure != nil {
+		t.Fatalf("survivors should absorb one straggler; got Failure %v", res.Failure)
+	}
+	if res.Recovered < 1 {
+		t.Fatalf("Recovered = %d, want >= 1", res.Recovered)
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatalf("network diverged after straggler recovery: %v", err)
+	}
+}
+
+func TestLShapedAllWorkersLostFailsCleanly(t *testing.T) {
+	defer fault.Reset()
+	// Panic every cover entry, forever: every round loses workers
+	// until the retry budget is spent or nobody survives.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointLShapedMatrix: {Mode: fault.ModePanic, After: 1, Count: 1 << 20},
+	}})
+	nw := network.PaperExample()
+	ref := nw.Clone()
+	res := runChaos(t, func() RunResult {
+		return LShaped(context.Background(), nw, 3, Options{})
+	})
+	if res.Failure == nil {
+		t.Fatal("losing every worker must surface as Failure")
+	}
+	if err := equiv.Check(ref, nw, equiv.Options{}); err != nil {
+		t.Fatalf("network diverged after total loss: %v", err)
+	}
+}

@@ -44,6 +44,13 @@ type Options struct {
 	// read as zero even to their owner, reintroducing the §5.3
 	// order-dependent search bias.
 	DisableOwnerCheck bool
+	// BarrierDeadline arms the straggler detector of the replicated
+	// and L-shaped drivers: a worker that keeps its peers waiting at
+	// a barrier longer than this is declared lost and the round is
+	// aborted coherently instead of deadlocking. 0 disables
+	// detection (the faithful-reproduction default; the service
+	// layer always sets it).
+	BarrierDeadline time.Duration
 }
 
 func (o Options) model() vtime.Model {
@@ -86,6 +93,20 @@ type RunResult struct {
 	// function-equivalent to the input (partial factorization only),
 	// but the reported metrics cover only the work done.
 	Cancelled bool
+	// Recovered counts worker failures the driver absorbed without
+	// failing the run: partitions requeued onto survivors
+	// (partitioned), rounds restarted on the surviving workers
+	// (L-shaped). The result is complete and function-equivalent —
+	// only redundant work was added.
+	Recovered int
+	// Failure is non-nil when the run could not be completed because
+	// of a worker panic or straggler the driver could not absorb
+	// (always, for the replicated driver: its lockstep replicas
+	// cannot continue short-handed). The network is still
+	// function-equivalent to the input — every completed extraction
+	// preserves function — so the caller may retry on it as-is; the
+	// service layer's recovery ladder does exactly that.
+	Failure error
 }
 
 // chargeWork converts an extract.Work bundle into virtual time on

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Failure causes distinguish how a worker was lost.
+const (
+	// CausePanic: the worker goroutine panicked and was recovered.
+	CausePanic = "panic"
+	// CauseStraggler: the worker failed to reach a barrier before
+	// the deadline and the round was aborted around it.
+	CauseStraggler = "straggler"
+)
+
+// WorkerFailure is the structured error a lost worker goroutine turns
+// into: which driver, which worker, why, and (for panics) the panic
+// value and stack. Drivers first try to recover in place — requeue
+// the worker's partitions, abort the round coherently — and surface a
+// WorkerFailure in RunResult.Failure only when the run could not be
+// completed; the service layer's retry ladder takes over from there.
+type WorkerFailure struct {
+	// Algorithm is the driver that lost the worker.
+	Algorithm string
+	// Worker is the virtual processor index.
+	Worker int
+	// Cause is CausePanic or CauseStraggler.
+	Cause string
+	// Panic is the recovered panic value (CausePanic only).
+	Panic any
+	// Stack is the panicking goroutine's stack (CausePanic only).
+	Stack []byte
+}
+
+// Error summarizes the failure without the stack.
+func (f *WorkerFailure) Error() string {
+	if f.Cause == CauseStraggler {
+		return fmt.Sprintf("core: %s worker %d stalled past the barrier deadline", f.Algorithm, f.Worker)
+	}
+	return fmt.Sprintf("core: %s worker %d panicked: %v", f.Algorithm, f.Worker, f.Panic)
+}
+
+// Guard runs fn, converting a panic into a *WorkerFailure delivered
+// to sink (when non-nil) instead of crashing the process. It is the
+// mandatory spawn wrapper for worker goroutines in this package and
+// internal/service — the panicguard analyzer rejects bare `go`
+// statements there — and is equally usable inline to fence one unit
+// of work (one partition task, one service job).
+func Guard(algorithm string, worker int, sink func(*WorkerFailure), fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			f := &WorkerFailure{
+				Algorithm: algorithm,
+				Worker:    worker,
+				Cause:     CausePanic,
+				Panic:     r,
+				Stack:     debug.Stack(),
+			}
+			if sink != nil {
+				sink(f)
+			}
+		}
+	}()
+	fn()
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/extract"
+	"repro/internal/fault"
 	"repro/internal/kcm"
 	"repro/internal/lshape"
 	"repro/internal/network"
@@ -28,20 +29,48 @@ import (
 // covered cubes (§5.3). No per-step synchronization is needed, yet
 // the overlap lets partition-spanning rectangles be found — the
 // paper's compromise between the replicated and independent designs.
+//
+// A lost worker (panic, or straggler past Options.BarrierDeadline)
+// aborts only its call: survivors exit at their next barrier in
+// agreement, every division already applied is kept (each one
+// preserved its node's function), and the dead worker's partitions
+// are requeued onto the survivors for the next call — the fixpoint
+// loop then redoes only the lost partitions' remaining
+// opportunities, never the whole job. Only when no survivor is left
+// (or failures keep repeating past a retry budget) does the run
+// return with RunResult.Failure for the service ladder.
 func LShaped(ctx context.Context, nw *network.Network, p int, opt Options) RunResult {
 	mc := vtime.NewMachine(p, opt.model())
+	mc.SetBarrierDeadline(opt.BarrierDeadline)
 	start := time.Now()
 	res := RunResult{Algorithm: "lshaped", P: p}
 
 	parts := partition.KWay(nw, nil, p, opt.Partition)
+	// failBudget bounds in-driver recovery: each lost worker costs
+	// one unit, and a run that keeps losing workers past it stops
+	// retrying and reports Failure instead of looping.
+	failBudget := 2 * p
 	for {
 		if ctx.Err() != nil {
 			res.Cancelled = true
 			break
 		}
 		res.Calls++
-		extracted, dnf, cancelled := lshapedCall(ctx, nw, parts, opt, mc)
+		mc.SetParticipants(len(parts))
+		extracted, dnf, cancelled, failed, failure := lshapedCall(ctx, nw, parts, opt, mc)
 		res.Extracted += extracted
+		if failure != nil {
+			failBudget -= len(failed)
+			survivors := len(parts) - len(failed)
+			if len(failed) == 0 || survivors < 1 || failBudget < 0 {
+				res.Failure = failure
+				break
+			}
+			res.Recovered += len(failed)
+			parts = redistribute(parts, failed)
+			mc.ClearAbort()
+			continue
+		}
 		if cancelled {
 			res.Cancelled = true
 			break
@@ -61,6 +90,36 @@ func LShaped(ctx context.Context, nw *network.Network, p int, opt Options) RunRe
 	res.Barriers = mc.Barriers()
 	res.WallClock = time.Since(start)
 	return res
+}
+
+// redistribute drops the failed workers' slots and appends their
+// partitions round-robin onto the survivors, preserving slice order
+// everywhere so the rebuilt ownership map and offset labels stay
+// deterministic.
+func redistribute(parts [][]sop.Var, failed []int) [][]sop.Var {
+	bad := make([]bool, len(parts))
+	for _, f := range failed {
+		if f >= 0 && f < len(parts) {
+			bad[f] = true
+		}
+	}
+	out := make([][]sop.Var, 0, len(parts))
+	for i, part := range parts {
+		if !bad[i] {
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		return out
+	}
+	k := 0
+	for i, part := range parts {
+		if bad[i] {
+			out[k%len(out)] = append(out[k%len(out)], part...)
+			k++
+		}
+	}
+	return out
 }
 
 // fwdMsg asks a node's owning worker to divide it by an extracted
@@ -95,13 +154,15 @@ func (q *fwdQueue) drain() []fwdMsg {
 }
 
 // lshapedCall performs one parallel L-shaped factorization call and
-// returns the number of kernels extracted (and kept). Its only direct
-// state-table touch is the one-time SetOwnerCheck during coordinator
-// setup, before any worker clock exists to charge; the workers' own
-// touches are charged inside their closures.
+// returns the number of kernels extracted (and kept), the budget and
+// cancellation flags, the workers lost this call, and the failure
+// that aborted it (nil on a clean call). Its only direct state-table
+// touch is the one-time SetOwnerCheck during coordinator setup,
+// before any worker clock exists to charge; the workers' own touches
+// are charged inside their closures.
 //
 //repolint:allow vtimecharge -- coordinator-side SetOwnerCheck runs before the workers start; every worker-side state-table touch is charged in its own closure
-func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.Machine) (int, bool, bool) {
+func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.Machine) (int, bool, bool, []int, error) {
 	p := len(parts)
 	ownerOf := map[sop.Var]int{}
 	for w, part := range parts {
@@ -124,16 +185,27 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 	usedNodes := make([]map[sop.Var]bool, p)
 	var overBudget atomic.Bool
 	var ctxDone atomic.Bool
+	var failMu sync.Mutex
+	// failures is guarded by failMu.
+	var failures []*WorkerFailure
+	sink := func(f *WorkerFailure) {
+		failMu.Lock()
+		failures = append(failures, f)
+		failMu.Unlock()
+		// Publish the loss: survivors exit at their next barrier
+		// (or at the cover loop's abort check) in agreement.
+		mc.Abort(f.Error())
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		body := func(w int) {
 			usedNodes[w] = map[sop.Var]bool{}
 
 			// Phase 1: build this partition's matrix with offset
 			// labels (concurrent, read-only on the network).
+			fault.Inject(fault.PointLShapedMatrix)
 			b := kcm.NewBuilder(w, opt.Kernel)
 			for _, v := range parts[w] {
 				b.AddNode(nw, v)
@@ -143,7 +215,9 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 			mc.ChargeMatrixEntries(w, mats[w].NumEntries())
 			// Send the kernel-cube list to the master (§5.2).
 			mc.ChargeSend(w, 0, len(mats[w].Cols()))
-			mc.Barrier(w)
+			if !mc.Barrier(w) {
+				return
+			}
 
 			// Phase 2: the master distributes cube ownership and
 			// the workers exchange B_ij blocks. Worker 0 computes
@@ -157,13 +231,17 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 					mc.ChargeSend(0, i, len(mats[i].Cols()))
 				}
 			}
-			mc.Barrier(w)
+			if !mc.Barrier(w) {
+				return
+			}
 			for j := 0; j < p; j++ {
 				if n := exch.Words[w][j]; n > 0 {
 					mc.ChargeSend(w, j, n)
 				}
 			}
-			mc.Barrier(w)
+			if !mc.Barrier(w) {
+				return
+			}
 
 			// Phase 3: concurrent greedy cover of this worker's
 			// L-shaped matrix, with speculative covering in the
@@ -193,10 +271,17 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 				// Workers never synchronize inside the cover, so
 				// each may notice cancellation at its own rectangle
 				// boundary and fall through to the phase barrier.
+				// A peer's failure is noticed the same way — the
+				// abort check keeps a survivor from speculating on
+				// for a round that is already lost.
 				if ctx.Err() != nil {
 					ctxDone.Store(true)
 					break
 				}
+				if _, aborted := mc.Aborted(); aborted {
+					break
+				}
+				fault.Inject(fault.PointLShapedCover)
 				if opt.WorkBudget > 0 && mc.Clock(w) > opt.WorkBudget {
 					overBudget.Store(true)
 					break
@@ -305,12 +390,18 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 					continue cover
 				}
 			}
-			mc.Barrier(w)
+			if !mc.Barrier(w) {
+				return
+			}
 			// Phase 4: final drain — every extraction is done, so
 			// the queues are stable.
 			processForwards(nw, &nwMu, queues[w], usedNodes[w], mc, w)
 			mc.Barrier(w)
-		}(w)
+		}
+		go Guard("lshaped", w, sink, func() {
+			defer wg.Done()
+			body(w)
+		})
 	}
 	wg.Wait()
 
@@ -340,12 +431,39 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 			}
 		}
 	}
-	return extracted, overBudget.Load(), ctxDone.Load()
+
+	// Identify the workers this call lost: panickers via their Guard
+	// sink, pure stragglers via the barrier deadline's missing list.
+	var failure error
+	var failed []int
+	failMu.Lock()
+	for _, f := range failures {
+		failed = append(failed, f.Worker)
+		if failure == nil {
+			failure = f
+		}
+	}
+	failMu.Unlock()
+	if _, aborted := mc.Aborted(); aborted && failure == nil {
+		failed = append(failed, mc.Missing()...)
+		stuck := 0
+		if len(failed) > 0 {
+			stuck = failed[0]
+		}
+		failure = &WorkerFailure{Algorithm: "lshaped", Worker: stuck, Cause: CauseStraggler}
+	}
+	slices.Sort(failed)
+	failed = slices.Compact(failed)
+	return extracted, overBudget.Load(), ctxDone.Load(), failed, failure
 }
 
 // processForwards divides this worker's nodes by kernels extracted on
-// other workers (partial rectangles, §5.3).
+// other workers (partial rectangles, §5.3). A panic mid-drain loses
+// only the undivided messages: the owning nodes keep their current
+// (equivalent) functions and the kernel survives iff some other
+// division used it.
 func processForwards(nw *network.Network, nwMu *sync.Mutex, q *fwdQueue, used map[sop.Var]bool, mc *vtime.Machine, w int) {
+	fault.Inject(fault.PointLShapedForward)
 	for _, m := range q.drain() {
 		nwMu.Lock()
 		t, ch := extract.DivideNode(nw, m.node, m.kvar, m.kernel, m.addBack, m.zcGain)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/extract"
+	"repro/internal/fault"
 	"repro/internal/kcm"
 	"repro/internal/network"
 	"repro/internal/rect"
@@ -25,8 +26,17 @@ import (
 // limited by the per-extraction barriers and the redundant division
 // and merge work; memory grows with p (the paper's reason it cannot
 // handle spla and ex1010).
+//
+// The lockstep replicas cannot continue short-handed: losing any
+// worker (panic, or straggler past Options.BarrierDeadline) aborts
+// the round coherently — surviving workers exit at the next barrier
+// in agreement — and the run returns with RunResult.Failure set. The
+// caller's network keeps every fully-applied extraction and stays
+// function-equivalent to the input, so the service layer can retry
+// or degrade to the sequential driver on it directly.
 func Replicated(ctx context.Context, nw *network.Network, p int, opt Options) RunResult {
 	mc := vtime.NewMachine(p, opt.model())
+	mc.SetBarrierDeadline(opt.BarrierDeadline)
 	start := time.Now()
 	res := RunResult{Algorithm: "replicated", P: p}
 
@@ -48,7 +58,11 @@ func Replicated(ctx context.Context, nw *network.Network, p int, opt Options) Ru
 		}
 		res.Calls++
 		before := nw.NumNodes()
-		dnf, cancelled := replicatedCall(ctx, nets, active, opt, mc)
+		dnf, cancelled, failure := replicatedCall(ctx, nets, active, opt, mc)
+		if failure != nil {
+			res.Failure = failure
+			break
+		}
 		if cancelled {
 			res.Cancelled = true
 			break
@@ -74,8 +88,9 @@ func Replicated(ctx context.Context, nw *network.Network, p int, opt Options) Ru
 }
 
 // replicatedCall performs one lockstep factorization call across all
-// workers and reports whether the work budget was exceeded and
-// whether ctx was cancelled.
+// workers and reports whether the work budget was exceeded, whether
+// ctx was cancelled, and the worker failure (if any) that aborted the
+// call.
 //
 // Cancellation must be observed identically by every worker or the
 // lockstep barriers deadlock, so a worker never acts on ctx directly:
@@ -84,23 +99,40 @@ func Replicated(ctx context.Context, nw *network.Network, p int, opt Options) Ru
 // after that barrier. Flag writes happen-before the barrier release
 // and no write can occur between that barrier and the round's final
 // barrier, so every worker reads the same value each round.
-func replicatedCall(ctx context.Context, nets []*network.Network, active []sop.Var, opt Options, mc *vtime.Machine) (bool, bool) {
+//
+// Worker loss follows the same publish-before-barrier discipline with
+// the machine's abort flag: a panicking worker's Guard sink aborts
+// the machine, every surviving worker's next Barrier returns false,
+// and all of them unwind without touching their replicas again — no
+// worker can be mid-division when another has already moved on.
+func replicatedCall(ctx context.Context, nets []*network.Network, active []sop.Var, opt Options, mc *vtime.Machine) (bool, bool, error) {
 	p := len(nets)
 	mats := make([]*kcm.Matrix, p)
 	bests := make([]rect.Rect, p)
 	dnf := false
 	var ctxDone atomic.Bool
 	cancelled := false
+	var failMu sync.Mutex
+	// failures is guarded by failMu.
+	var failures []*WorkerFailure
+	sink := func(f *WorkerFailure) {
+		failMu.Lock()
+		failures = append(failures, f)
+		failMu.Unlock()
+		// Publish the loss so no surviving worker blocks on a
+		// barrier the dead one will never reach.
+		mc.Abort(f.Error())
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		body := func(w int) {
 			net := nets[w]
 
 			// Phase 1: generate kernels for this worker's share
 			// of the nodes (round-robin split), with offset
 			// labels so all merged matrices agree.
+			fault.Inject(fault.PointReplicatedMatrix)
 			b := kcm.NewBuilder(w, opt.Kernel)
 			for i, v := range active {
 				if i%p == w {
@@ -112,7 +144,9 @@ func replicatedCall(ctx context.Context, nets []*network.Network, active []sop.V
 			mc.ChargeMatrixEntries(w, mats[w].NumEntries())
 			// Broadcast this worker's kernels to every peer.
 			mc.ChargeBroadcast(w, mats[w].NumEntries())
-			mc.Barrier(w)
+			if !mc.Barrier(w) {
+				return
+			}
 
 			// Phase 2: every worker assembles its own full copy
 			// of the matrix — identical labels everywhere, and
@@ -124,7 +158,9 @@ func replicatedCall(ctx context.Context, nets []*network.Network, active []sop.V
 				total += mats[j].NumEntries()
 			}
 			mc.ChargeMatrixEntries(w, total)
-			mc.Barrier(w)
+			if !mc.Barrier(w) {
+				return
+			}
 
 			// Phase 3: lockstep greedy cover. Each worker owns a
 			// slice of root columns; the global best is reduced
@@ -132,6 +168,7 @@ func replicatedCall(ctx context.Context, nets []*network.Network, active []sop.V
 			covered := rect.NewCover(merged)
 			slices := rect.SplitColumns(merged, p)
 			for {
+				fault.Inject(fault.PointReplicatedSearch)
 				cfg := opt.Rect
 				cfg.Cover = covered
 				cfg.LeftmostCols = slices[w]
@@ -143,7 +180,10 @@ func replicatedCall(ctx context.Context, nets []*network.Network, active []sop.V
 				best, stats := rect.Best(merged, cfg, nil)
 				mc.ChargeSearchVisits(w, stats.Visits)
 				bests[w] = best
-				mc.Barrier(w)
+				fault.Inject(fault.PointReplicatedBarrier)
+				if !mc.Barrier(w) {
+					return
+				}
 				// Deterministic reduction, recomputed identically
 				// by every worker; clocks are level here, so the
 				// budget decision is identical too.
@@ -157,7 +197,9 @@ func replicatedCall(ctx context.Context, nets []*network.Network, active []sop.V
 				if ctx.Err() != nil {
 					ctxDone.Store(true)
 				}
-				mc.Barrier(w)
+				if !mc.Barrier(w) {
+					return
+				}
 				if ctxDone.Load() {
 					if w == 0 {
 						cancelled = true
@@ -178,15 +220,40 @@ func replicatedCall(ctx context.Context, nets []*network.Network, active []sop.V
 				if len(winner.Rows) > 0 && sameRect(winner, bests[w]) {
 					mc.ChargeBroadcast(w, len(winner.Rows)+len(winner.Cols))
 				}
+				fault.Inject(fault.PointReplicatedDivide)
 				kernel := extract.KernelOf(merged, winner)
 				_, touched, _ := extract.ApplyRect(net, merged, winner, kernel, covered)
 				mc.ChargeDivisionCubes(w, touched)
-				mc.Barrier(w)
+				if !mc.Barrier(w) {
+					return
+				}
 			}
-		}(w)
+		}
+		go Guard("replicated", w, sink, func() {
+			defer wg.Done()
+			body(w)
+		})
 	}
 	wg.Wait()
-	return dnf, cancelled
+
+	var failure error
+	failMu.Lock()
+	if len(failures) > 0 {
+		failure = failures[0]
+	}
+	failMu.Unlock()
+	if failure == nil {
+		if _, aborted := mc.Aborted(); aborted {
+			// Deadline abort: some worker stalled without
+			// panicking. Blame the first missing arrival.
+			stuck := 0
+			if m := mc.Missing(); len(m) > 0 {
+				stuck = m[0]
+			}
+			failure = &WorkerFailure{Algorithm: "replicated", Worker: stuck, Cause: CauseStraggler}
+		}
+	}
+	return dnf, cancelled, failure
 }
 
 func sameRect(a, b rect.Rect) bool {

@@ -21,6 +21,7 @@
 // bit-for-bit reproducible (DESIGN.md §7).
 //
 //repolint:determinism-critical
+//repolint:crash-tolerant
 package core
 
 import (

@@ -16,6 +16,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/sop"
 )
@@ -74,6 +75,9 @@ func Read(r io.Reader, name string) (*network.Network, error) {
 // rejecting input that exceeds lim. This is the entry point for
 // untrusted input.
 func ReadLimits(r io.Reader, name string, lim Limits) (*network.Network, error) {
+	if err := fault.InjectErr(fault.PointEqnRead); err != nil {
+		return nil, err
+	}
 	lim = lim.withDefaults()
 	nw := network.New(name)
 	sc := bufio.NewScanner(r)

@@ -1,0 +1,120 @@
+// Package fault is a deterministic, seed-driven fault-injection
+// framework for chaos-testing the parallel drivers and the serving
+// layer. Code under test calls Inject/InjectErr at named injection
+// points; a test (or the FAULT_PLAN environment variable, for
+// cmd/factord) installs a Plan mapping point names to triggers that
+// panic, sleep, or return a spurious error on deterministically
+// chosen hits.
+//
+// The runtime is compiled in only under the "faultinject" build tag
+// (the CI chaos lane runs `go test -race -tags faultinject ./...`).
+// In a default build every function in this package is an empty stub
+// and Enabled is a constant false, so injection points in hot paths
+// cost nothing — the same compile-out discipline as
+// internal/analysis/invariant.
+//
+// Triggers are deterministic by construction: each point keeps a hit
+// counter (guarded by one global mutex, which also serializes the
+// seeded RNG), and a trigger fires on hits in [After, After+Count)
+// unless a probability is set, in which case the seeded RNG decides
+// each eligible hit. Identical plans on identical hit sequences fire
+// identically.
+package fault
+
+import "time"
+
+// Mode selects what an injection point does when it triggers.
+type Mode string
+
+const (
+	// ModePanic makes Inject/InjectErr panic with an Injected value.
+	ModePanic Mode = "panic"
+	// ModeDelay makes Inject/InjectErr sleep for PointConfig.Delay —
+	// the straggler fault the barrier deadline detector exists for.
+	ModeDelay Mode = "delay"
+	// ModeError makes InjectErr return an *Injected error (Inject
+	// ignores error-mode points; a point that can only panic or
+	// stall has no error channel to report through).
+	ModeError Mode = "error"
+)
+
+// PointConfig is one point's trigger rule.
+type PointConfig struct {
+	// Mode is what happens on a triggered hit.
+	Mode Mode
+	// After is the first hit (1-based) eligible to trigger; 0 means
+	// the first hit.
+	After int
+	// Count is how many eligible hits trigger; 0 means one.
+	Count int
+	// Prob, when > 0, gates each eligible hit on the plan's seeded
+	// RNG instead of triggering unconditionally.
+	Prob float64
+	// Delay is the sleep for ModeDelay.
+	Delay time.Duration
+}
+
+// Plan maps injection points to their trigger rules.
+type Plan struct {
+	// Seed drives the RNG used for Prob-gated points; the zero seed
+	// is as valid as any other.
+	Seed int64
+	// Points maps point names (the Point* constants) to triggers.
+	Points map[string]PointConfig
+}
+
+// Injected is the panic value and error produced by a triggered
+// point, so chaos tests can tell injected faults from real ones.
+type Injected struct {
+	// Point names the injection point that fired.
+	Point string
+}
+
+// Error makes Injected usable as the spurious error of ModeError.
+func (i Injected) Error() string {
+	return "fault: injected at " + i.Point
+}
+
+// Named injection points. Keeping them in one block documents the
+// fault surface: every place a worker can die, stall, or error is
+// listed here and exercised by the chaos lane.
+const (
+	// PointReplicatedMatrix fires in a replicated worker's phase-1
+	// matrix build, before any network mutation of the round.
+	PointReplicatedMatrix = "core.replicated.matrix"
+	// PointReplicatedSearch fires at the top of a replicated
+	// worker's cover loop, between rectangle extractions.
+	PointReplicatedSearch = "core.replicated.search"
+	// PointReplicatedDivide fires just before a replicated worker
+	// applies the round's winning rectangle to its own copy.
+	PointReplicatedDivide = "core.replicated.divide"
+	// PointReplicatedBarrier fires immediately before the decision
+	// barrier — the natural place for a ModeDelay straggler.
+	PointReplicatedBarrier = "core.replicated.barrier"
+
+	// PointPartitionedExtract fires at the start of one partition
+	// task, before its clone is factored.
+	PointPartitionedExtract = "core.partitioned.extract"
+	// PointPartitionedMerge fires before one partition's merge-back
+	// into the caller's network.
+	PointPartitionedMerge = "core.partitioned.merge"
+
+	// PointLShapedMatrix fires in an L-shaped worker's phase-1
+	// matrix build.
+	PointLShapedMatrix = "core.lshaped.matrix"
+	// PointLShapedCover fires at the top of an L-shaped worker's
+	// concurrent cover loop, between rectangle claims.
+	PointLShapedCover = "core.lshaped.cover"
+	// PointLShapedForward fires before a worker processes its
+	// forwarded-division queue.
+	PointLShapedForward = "core.lshaped.forward"
+
+	// PointServiceJob fires in the worker pool just before a job is
+	// dispatched to a core driver.
+	PointServiceJob = "service.pool.job"
+
+	// PointBlifRead and PointEqnRead fire (ModeError) in the circuit
+	// readers, modeling transient upload/parse-path failures.
+	PointBlifRead = "blif.read"
+	PointEqnRead  = "eqn.read"
+)

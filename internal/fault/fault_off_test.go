@@ -1,0 +1,23 @@
+//go:build !faultinject
+
+package fault
+
+import "testing"
+
+// The default build must compile every injection point down to a
+// no-op: no panics, no errors, no counters, even with a plan
+// installed.
+func TestDefaultBuildIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the faultinject tag")
+	}
+	Set(Plan{Points: map[string]PointConfig{"p": {Mode: ModePanic}}})
+	defer Reset()
+	Inject("p")
+	if err := InjectErr("p"); err != nil {
+		t.Fatalf("stub InjectErr returned %v", err)
+	}
+	if Hits("p") != 0 || Fired("p") != 0 {
+		t.Fatal("stub counters must stay zero")
+	}
+}

@@ -1,0 +1,139 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestCountTrigger(t *testing.T) {
+	defer Reset()
+	Set(Plan{Points: map[string]PointConfig{
+		"p": {Mode: ModeError, After: 3, Count: 2},
+	}})
+	var errs int
+	for i := 1; i <= 6; i++ {
+		if err := InjectErr("p"); err != nil {
+			errs++
+			if i != 3 && i != 4 {
+				t.Fatalf("trigger on hit %d, want hits 3 and 4", i)
+			}
+			var inj Injected
+			if !errors.As(err, &inj) || inj.Point != "p" {
+				t.Fatalf("error %v does not identify the point", err)
+			}
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("fired %d times, want 2", errs)
+	}
+	if Hits("p") != 6 || Fired("p") != 2 {
+		t.Fatalf("counters hits=%d fired=%d, want 6/2", Hits("p"), Fired("p"))
+	}
+}
+
+func TestPanicTrigger(t *testing.T) {
+	defer Reset()
+	Set(Plan{Points: map[string]PointConfig{
+		"boom": {Mode: ModePanic},
+	}})
+	defer func() {
+		r := recover()
+		inj, ok := r.(Injected)
+		if !ok || inj.Point != "boom" {
+			t.Fatalf("recovered %v, want Injected{boom}", r)
+		}
+	}()
+	Inject("boom")
+	t.Fatal("Inject did not panic")
+}
+
+func TestDelayTrigger(t *testing.T) {
+	defer Reset()
+	Set(Plan{Points: map[string]PointConfig{
+		"slow": {Mode: ModeDelay, Delay: 30 * time.Millisecond},
+	}})
+	start := time.Now()
+	Inject("slow")
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay injected only %v", d)
+	}
+}
+
+func TestErrorModeIsQuietAtInjectSites(t *testing.T) {
+	defer Reset()
+	Set(Plan{Points: map[string]PointConfig{
+		"p": {Mode: ModeError},
+	}})
+	Inject("p") // must neither panic nor sleep
+	if Fired("p") != 1 {
+		t.Fatalf("fired=%d, want the hit consumed", Fired("p"))
+	}
+}
+
+func TestProbSeedDeterminism(t *testing.T) {
+	defer Reset()
+	run := func(seed int64) []int {
+		Set(Plan{Seed: seed, Points: map[string]PointConfig{
+			"p": {Mode: ModeError, Prob: 0.5, Count: 100},
+		}})
+		var fired []int
+		for i := 0; i < 50; i++ {
+			if InjectErr("p") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 50 {
+		t.Fatalf("prob 0.5 fired %d/50 hits; trigger gate looks broken", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestUnplannedPointIsFree(t *testing.T) {
+	defer Reset()
+	Set(Plan{Points: map[string]PointConfig{"other": {Mode: ModePanic}}})
+	Inject("nothing-here")
+	if err := InjectErr("nothing-here"); err != nil {
+		t.Fatalf("unplanned point errored: %v", err)
+	}
+	if Hits("nothing-here") != 0 {
+		t.Fatal("unplanned points must not be counted")
+	}
+}
+
+func TestInitFromEnv(t *testing.T) {
+	defer Reset()
+	t.Setenv("FAULT_PLAN", "seed=7;a.b=error:2:1;c.d=delay:1:1:250;junk;e=wat:1")
+	InitFromEnv()
+	if err := InjectErr("a.b"); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	if err := InjectErr("a.b"); err == nil {
+		t.Fatal("hit 2 did not fire")
+	}
+	registry.mu.Lock()
+	cd, ok := registry.plan.Points["c.d"]
+	seed := registry.plan.Seed
+	_, junk := registry.plan.Points["e"]
+	registry.mu.Unlock()
+	if !ok || cd.Delay != 250*time.Millisecond || cd.Mode != ModeDelay {
+		t.Fatalf("c.d parsed as %+v", cd)
+	}
+	if seed != 7 {
+		t.Fatalf("seed parsed as %d", seed)
+	}
+	if junk {
+		t.Fatal("malformed mode entry was installed")
+	}
+	os.Unsetenv("FAULT_PLAN")
+}

@@ -1,0 +1,30 @@
+//go:build !faultinject
+
+package fault
+
+// Enabled is false in the default build; see the faultinject build
+// tag (runtime_on.go) for the real documentation. These stubs keep
+// injection points free in release binaries: every call compiles to a
+// trivially inlinable empty function.
+const Enabled = false
+
+// Set is a no-op in the default build.
+func Set(Plan) {}
+
+// Reset is a no-op in the default build.
+func Reset() {}
+
+// Hits always reports zero in the default build.
+func Hits(string) int { return 0 }
+
+// Fired always reports zero in the default build.
+func Fired(string) int { return 0 }
+
+// Inject is a no-op in the default build.
+func Inject(string) {}
+
+// InjectErr never fails in the default build.
+func InjectErr(string) error { return nil }
+
+// InitFromEnv is a no-op in the default build.
+func InitFromEnv() {}

@@ -1,0 +1,194 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = true
+
+// registry is the installed plan plus per-point hit/fire counters.
+// One mutex serializes every hit, which is what makes count- and
+// RNG-based triggers deterministic under concurrency: hits are
+// totally ordered even when points race.
+var registry struct {
+	mu sync.Mutex
+	// plan is guarded by mu.
+	plan Plan
+	// rng is guarded by mu.
+	rng *rand.Rand
+	// hits is guarded by mu.
+	hits map[string]int
+	// fired is guarded by mu.
+	fired map[string]int
+}
+
+// Set installs a plan and resets all counters.
+func Set(p Plan) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.plan = p
+	registry.rng = rand.New(rand.NewSource(p.Seed))
+	registry.hits = map[string]int{}
+	registry.fired = map[string]int{}
+}
+
+// Reset removes the plan; every point becomes a no-op again.
+func Reset() { Set(Plan{}) }
+
+// Hits returns how many times point has been reached since Set.
+func Hits(point string) int {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return registry.hits[point]
+}
+
+// Fired returns how many times point has triggered since Set.
+func Fired(point string) int {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return registry.fired[point]
+}
+
+// trigger records a hit at point and returns the action to take, or
+// nil when the point stays quiet.
+func trigger(point string) *PointConfig {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	cfg, ok := registry.plan.Points[point]
+	if !ok {
+		return nil
+	}
+	registry.hits[point]++
+	hit := registry.hits[point]
+	after := cfg.After
+	if after <= 0 {
+		after = 1
+	}
+	count := cfg.Count
+	if count <= 0 {
+		count = 1
+	}
+	if hit < after || registry.fired[point] >= count {
+		return nil
+	}
+	if cfg.Prob > 0 && registry.rng.Float64() >= cfg.Prob {
+		return nil
+	}
+	registry.fired[point]++
+	return &cfg
+}
+
+// Inject fires panic- and delay-mode faults at point. Error-mode
+// configurations are ignored here: a site that calls Inject has no
+// error return to deliver them through.
+func Inject(point string) {
+	cfg := trigger(point)
+	if cfg == nil {
+		return
+	}
+	switch cfg.Mode {
+	case ModeDelay:
+		time.Sleep(cfg.Delay)
+	case ModeError:
+		// No error channel at an Inject site; stay quiet.
+	default:
+		panic(Injected{Point: point})
+	}
+}
+
+// InjectErr fires any fault mode at point: ModeError returns the
+// spurious error, ModeDelay sleeps, ModePanic panics.
+func InjectErr(point string) error {
+	cfg := trigger(point)
+	if cfg == nil {
+		return nil
+	}
+	switch cfg.Mode {
+	case ModeError:
+		return Injected{Point: point}
+	case ModeDelay:
+		time.Sleep(cfg.Delay)
+		return nil
+	default:
+		panic(Injected{Point: point})
+	}
+}
+
+// InitFromEnv installs a plan from $FAULT_PLAN, letting a faultinject
+// build of cmd/factord be chaos-tested end to end. The format is
+//
+//	[seed=N;]point=mode[:after[:count[:delayMS]]][;point=...]
+//
+// e.g. FAULT_PLAN="seed=7;core.lshaped.cover=panic:3;service.pool.job=delay:1:2:500".
+// Malformed entries are reported on stderr and skipped — a chaos
+// harness with a typo should degrade to no injection, not refuse to
+// serve.
+func InitFromEnv() {
+	spec := os.Getenv("FAULT_PLAN")
+	if spec == "" {
+		return
+	}
+	plan := Plan{Points: map[string]PointConfig{}}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fault: ignoring malformed FAULT_PLAN entry %q\n", part)
+			continue
+		}
+		if name == "seed" {
+			seed, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fault: ignoring malformed FAULT_PLAN seed %q\n", val)
+				continue
+			}
+			plan.Seed = seed
+			continue
+		}
+		fields := strings.Split(val, ":")
+		cfg := PointConfig{Mode: Mode(fields[0])}
+		switch cfg.Mode {
+		case ModePanic, ModeDelay, ModeError:
+		default:
+			fmt.Fprintf(os.Stderr, "fault: ignoring FAULT_PLAN entry %q: unknown mode %q\n", part, fields[0])
+			continue
+		}
+		nums := make([]int, 0, 3)
+		bad := false
+		for _, f := range fields[1:] {
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fault: ignoring FAULT_PLAN entry %q: bad number %q\n", part, f)
+				bad = true
+				break
+			}
+			nums = append(nums, n)
+		}
+		if bad {
+			continue
+		}
+		if len(nums) > 0 {
+			cfg.After = nums[0]
+		}
+		if len(nums) > 1 {
+			cfg.Count = nums[1]
+		}
+		if len(nums) > 2 {
+			cfg.Delay = time.Duration(nums[2]) * time.Millisecond
+		}
+		plan.Points[name] = cfg
+	}
+	Set(plan)
+}

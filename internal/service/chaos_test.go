@@ -1,0 +1,148 @@
+//go:build faultinject
+
+package service_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+// The service-level chaos contract: worker failures climb the retry
+// ladder (retry same algorithm, degrade to sequential, then FAILED),
+// recovered jobs still answer with a function-equivalent network
+// (asserted via Verify), and /v1/stats accounts for every rung.
+
+func TestServiceRetriesWorkerPanic(t *testing.T) {
+	defer fault.Reset()
+	// One worker panics mid-division inside the replicated driver;
+	// the surfaced WorkerFailure triggers a same-algorithm retry that
+	// finds the point exhausted and completes.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointReplicatedDivide: {Mode: fault.ModePanic, After: 1, Count: 1},
+	}})
+	h := newHarness(t, service.DefaultConfig())
+	sub := h.submitOK(t, service.SubmitRequest{
+		Circuit: paperBLIF,
+		Spec:    service.Spec{Algo: "repl", P: 4, Verify: true},
+	})
+	st := h.waitTerminal(t, sub.ID, 10*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("state = %s (%s), want DONE", st.State, st.Error)
+	}
+	if !st.Verified {
+		t.Fatal("recovered job did not pass the equivalence check")
+	}
+	if st.Degraded {
+		t.Fatal("a same-algorithm retry must not be marked degraded")
+	}
+	faults := h.srv.Stats().Pool.Faults
+	if faults.WorkerPanics < 1 || faults.JobRetries < 1 {
+		t.Fatalf("faults = %+v, want >=1 worker panic and >=1 retry", faults)
+	}
+}
+
+func TestServiceDegradesToSequentialAfterRepeatedFailure(t *testing.T) {
+	defer fault.Reset()
+	// Both replicated attempts die at dispatch (the service point
+	// fires exactly once per attempt, so the window covers exactly
+	// the two same-algorithm rungs); the ladder must fall back to the
+	// sequential driver and still finish.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointServiceJob: {Mode: fault.ModePanic, After: 1, Count: 2},
+	}})
+	h := newHarness(t, service.DefaultConfig())
+	sub := h.submitOK(t, service.SubmitRequest{
+		Circuit: paperBLIF,
+		Spec:    service.Spec{Algo: "repl", P: 4, Verify: true},
+	})
+	st := h.waitTerminal(t, sub.ID, 10*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("state = %s (%s), want DONE", st.State, st.Error)
+	}
+	if !st.Degraded {
+		t.Fatal("sequential fallback result must be marked degraded")
+	}
+	if !st.Verified {
+		t.Fatal("degraded job did not pass the equivalence check")
+	}
+	if st.Algorithm != "sequential" {
+		t.Fatalf("algorithm = %q, want the sequential fallback", st.Algorithm)
+	}
+	faults := h.srv.Stats().Pool.Faults
+	if faults.DegradedRuns < 1 || faults.JobRetries < 1 || faults.WorkerPanics < 2 {
+		t.Fatalf("faults = %+v, want >=2 panics, >=1 retry, >=1 degraded run", faults)
+	}
+}
+
+func TestServiceFailsJobWhenLadderExhausted(t *testing.T) {
+	defer fault.Reset()
+	// Every attempt, including the degraded one, dies.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointServiceJob: {Mode: fault.ModePanic, After: 1, Count: 1 << 20},
+	}})
+	h := newHarness(t, service.DefaultConfig())
+	sub := h.submitOK(t, service.SubmitRequest{
+		Circuit: paperBLIF,
+		Spec:    service.Spec{Algo: "part", P: 4},
+	})
+	st := h.waitTerminal(t, sub.ID, 10*time.Second)
+	if st.State != service.StateFailed {
+		t.Fatalf("state = %s, want FAILED", st.State)
+	}
+	if !strings.Contains(st.Error, "worker failure") {
+		t.Fatalf("error = %q, want a worker-failure message", st.Error)
+	}
+	faults := h.srv.Stats().Pool.Faults
+	if faults.FailedJobs < 1 || faults.DegradedRuns < 1 {
+		t.Fatalf("faults = %+v, want >=1 failed job after >=1 degraded run", faults)
+	}
+}
+
+func TestServiceStragglerRecoversViaRetry(t *testing.T) {
+	defer fault.Reset()
+	// One worker stalls at the decision barrier for longer than the
+	// barrier deadline (half the job deadline); the abort surfaces a
+	// straggler failure and the retry completes.
+	// Timing: the job deadline is 3s, so the barrier deadline is
+	// 1.5s; the sleeper wakes at 2s — after the abort, before the
+	// job deadline — leaving ~1s for the retry to complete.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointReplicatedBarrier: {Mode: fault.ModeDelay, Count: 1, Delay: 2 * time.Second},
+	}})
+	cfg := service.DefaultConfig()
+	h := newHarness(t, cfg)
+	sub := h.submitOK(t, service.SubmitRequest{
+		Circuit: paperBLIF,
+		Spec:    service.Spec{Algo: "repl", P: 4, Verify: true, DeadlineMS: 3000},
+	})
+	st := h.waitTerminal(t, sub.ID, 15*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("state = %s (%s), want DONE", st.State, st.Error)
+	}
+	if !st.Verified {
+		t.Fatal("recovered job did not pass the equivalence check")
+	}
+	faults := h.srv.Stats().Pool.Faults
+	if faults.Stragglers < 1 {
+		t.Fatalf("faults = %+v, want >=1 straggler", faults)
+	}
+}
+
+func TestReaderInjectionRejectsSubmission(t *testing.T) {
+	defer fault.Reset()
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointBlifRead: {Mode: fault.ModeError, After: 1, Count: 1},
+	}})
+	h := newHarness(t, service.DefaultConfig())
+	resp, data := h.submit(t, service.SubmitRequest{Circuit: paperBLIF})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("submit with injected read fault: got %s (%s), want 400", resp.Status, data)
+	}
+	// The point is spent; the next submission parses normally.
+	h.submitOK(t, service.SubmitRequest{Circuit: paperBLIF})
+}

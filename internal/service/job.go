@@ -10,6 +10,12 @@
 // synthesis run (~61% of SIS script time, Table 1); this package is
 // the serving layer that turns the reproduced algorithms into a
 // long-running, load-shedding service.
+//
+// Worker failures climb a recovery ladder (same-algorithm retry with
+// backoff, then a degraded sequential rerun, then FAILED); every
+// goroutine the package spawns runs behind core.Guard.
+//
+//repolint:crash-tolerant
 package service
 
 import (
@@ -124,6 +130,10 @@ type Result struct {
 	// Verified is set when the job requested Verify and the
 	// factored network passed the simulation equivalence check.
 	Verified bool
+	// Degraded is set when the requested parallel algorithm failed
+	// repeatedly and the sequential fallback produced this result.
+	// Degraded results are never shared through the cache.
+	Degraded bool
 }
 
 // Job is one factorization request moving through the queue, pool and
@@ -286,6 +296,7 @@ type Status struct {
 	WallMS      int64  `json:"wall_ms,omitempty"`
 	Algorithm   string `json:"algorithm,omitempty"`
 	Verified    bool   `json:"verified,omitempty"`
+	Degraded    bool   `json:"degraded,omitempty"`
 }
 
 // Snapshot captures the job's current status for the API.
@@ -318,6 +329,7 @@ func (j *Job) Snapshot() Status {
 		st.WallMS = j.result.Run.WallClock.Milliseconds()
 		st.Algorithm = j.result.Run.Algorithm
 		st.Verified = j.result.Verified
+		st.Degraded = j.result.Degraded
 	}
 	return st
 }

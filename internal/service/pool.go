@@ -2,12 +2,30 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/equiv"
+	"repro/internal/fault"
+)
+
+// Retry ladder for jobs whose run dies with a WorkerFailure. The
+// drivers guarantee the job's network stays function-equivalent to
+// the input through any recovered or aborted run, so a failed attempt
+// can simply be rerun on the same (possibly partially factored)
+// network: everything already extracted is kept, only the lost tail
+// is redone.
+const (
+	// sameAlgoAttempts is how many times the requested algorithm runs
+	// before the ladder moves on (first run + one retry).
+	sameAlgoAttempts = 2
+	// retryBaseDelay and retryMaxDelay bound the exponential backoff
+	// between attempts.
+	retryBaseDelay = 50 * time.Millisecond
+	retryMaxDelay  = 1 * time.Second
 )
 
 // Pool runs queued jobs on a fixed set of worker goroutines. Each job
@@ -47,6 +65,30 @@ type runStats struct {
 	totalVtime int64
 	// totalWall is guarded by mu.
 	totalWall time.Duration
+	// faults is guarded by mu.
+	faults FaultCounters
+}
+
+// FaultCounters classifies everything the service absorbed or lost to
+// worker failures, exported via GET /v1/stats.
+type FaultCounters struct {
+	// WorkerPanics counts attempts that surfaced a panic
+	// WorkerFailure to the service layer.
+	WorkerPanics int64 `json:"worker_panics"`
+	// Stragglers counts attempts aborted by a barrier deadline.
+	Stragglers int64 `json:"stragglers"`
+	// DriverRecoveries counts failures absorbed inside a driver
+	// (requeued partitions, redistributed L-shaped workers) that
+	// never surfaced as a failed attempt.
+	DriverRecoveries int64 `json:"driver_recoveries"`
+	// JobRetries counts same-algorithm reruns of failed attempts.
+	JobRetries int64 `json:"job_retries"`
+	// DegradedRuns counts jobs that fell back to the sequential
+	// driver after the requested parallel algorithm failed twice.
+	DegradedRuns int64 `json:"degraded_runs"`
+	// FailedJobs counts jobs that reached FAILED with a worker
+	// failure even after the full ladder.
+	FailedJobs int64 `json:"failed_jobs"`
 }
 
 // PoolStats is the worker-pool section of GET /v1/stats.
@@ -57,6 +99,7 @@ type PoolStats struct {
 	PerAlgo          map[string]int64 `json:"per_algo"`
 	TotalVirtualTime int64            `json:"total_virtual_time"`
 	TotalWallMS      int64            `json:"total_wall_ms"`
+	Faults           FaultCounters    `json:"faults"`
 }
 
 // NewPool returns an unstarted pool of the given size feeding from q
@@ -82,7 +125,7 @@ func NewPool(workers int, q *Queue, c *Cache, defaultDeadline, maxDeadline time.
 func (p *Pool) Start() {
 	for i := 0; i < p.workers; i++ {
 		p.wg.Add(1)
-		go func() {
+		go core.Guard("service", i, nil, func() {
 			defer p.wg.Done()
 			for {
 				j, ok := p.queue.Pop()
@@ -91,7 +134,7 @@ func (p *Pool) Start() {
 				}
 				p.runJob(j)
 			}
-		}()
+		})
 	}
 }
 
@@ -111,6 +154,7 @@ func (p *Pool) Stats() PoolStats {
 		PerAlgo:          per,
 		TotalVirtualTime: s.totalVtime,
 		TotalWallMS:      s.totalWall.Milliseconds(),
+		Faults:           s.faults,
 	}
 }
 
@@ -126,7 +170,10 @@ func (p *Pool) deadlineFor(j *Job) time.Duration {
 	return d
 }
 
-// runJob executes one job to a terminal state.
+// runJob executes one job to a terminal state, climbing the retry
+// ladder on worker failures: requested algorithm, one same-algorithm
+// retry, then — for parallel jobs — a degraded sequential rerun, then
+// FAILED.
 func (p *Pool) runJob(j *Job) {
 	ctx, cancel := context.WithTimeout(p.baseCtx, p.deadlineFor(j))
 	defer cancel()
@@ -151,9 +198,44 @@ func (p *Pool) runJob(j *Job) {
 		ref = j.nw.CloneDetached()
 	}
 
-	start := time.Now()
-	run := p.dispatch(ctx, j)
-	wall := time.Since(start)
+	// The ladder: the requested algorithm sameAlgoAttempts times,
+	// then — for parallel jobs — one sequential fallback attempt.
+	canDegrade := j.Spec.Algo != "seq"
+	maxAttempts := sameAlgoAttempts
+	if canDegrade {
+		maxAttempts++
+	}
+	degraded := false
+	var run core.RunResult
+	var wall time.Duration
+	for attempt := 0; ; attempt++ {
+		degraded = canDegrade && attempt >= sameAlgoAttempts
+		if attempt > 0 && !retryBackoff(ctx, attempt) {
+			// The deadline died during backoff; the switch below
+			// turns the last attempt's failure into FAILED.
+			break
+		}
+		start := time.Now()
+		run = p.dispatch(ctx, j, degraded)
+		wall = time.Since(start)
+		p.recordFaults(run)
+		if run.Failure == nil || run.Cancelled || ctx.Err() != nil {
+			break
+		}
+		var wf *core.WorkerFailure
+		if !errors.As(run.Failure, &wf) {
+			// Not a worker failure; the ladder has nothing to offer.
+			break
+		}
+		if attempt+1 >= maxAttempts {
+			break
+		}
+		if attempt+1 == sameAlgoAttempts && canDegrade {
+			p.noteDegraded()
+		} else {
+			p.noteRetry()
+		}
+	}
 
 	switch {
 	case run.Cancelled && j.wasCancelRequested():
@@ -163,10 +245,13 @@ func (p *Pool) runJob(j *Job) {
 	case run.Cancelled:
 		// Pool shutdown cancelled the base context.
 		j.finish(StateCancelled, nil, false, "cancelled by server shutdown")
+	case run.Failure != nil:
+		p.noteFailedJob()
+		j.finish(StateFailed, nil, false, fmt.Sprintf("worker failure persisted through retries: %v", run.Failure))
 	case run.DNF:
 		j.finish(StateFailed, nil, false, "run exceeded its work budget")
 	default:
-		res := &Result{Run: run, Net: j.nw}
+		res := &Result{Run: run, Net: j.nw, Degraded: degraded}
 		if j.Spec.Verify {
 			if err := equiv.Check(ref, j.nw, equiv.Options{}); err != nil {
 				j.finish(StateFailed, nil, false, fmt.Sprintf("equivalence check failed: %v", err))
@@ -174,15 +259,41 @@ func (p *Pool) runJob(j *Job) {
 			}
 			res.Verified = true
 		}
-		p.cache.Put(j.Key, res)
+		// A degraded result answers this job but is not what the
+		// spec's cache key promises (different algorithm ran), so it
+		// is never shared through the cache.
+		if !degraded {
+			p.cache.Put(j.Key, res)
+		}
 		p.countRun(j.Spec.Algo, run, wall)
 		j.finish(StateDone, res, false, "")
 	}
 }
 
-// dispatch runs the selected algorithm on the job's network while the
-// running counter is held high.
-func (p *Pool) dispatch(ctx context.Context, j *Job) core.RunResult {
+// retryBackoff sleeps before retry attempt n (1-based) with capped
+// exponential backoff. It reports false when ctx died first.
+func retryBackoff(ctx context.Context, n int) bool {
+	d := retryBaseDelay << (n - 1)
+	if d > retryMaxDelay || d <= 0 {
+		d = retryMaxDelay
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// dispatch runs one attempt of the job on its network while the
+// running counter is held high. A degraded attempt ignores the spec's
+// algorithm and runs the sequential driver. The whole attempt sits
+// behind a Guard fence, so a panic that escapes a driver (or fires at
+// the service injection point) comes back as a structured failure
+// instead of killing the pool worker.
+func (p *Pool) dispatch(ctx context.Context, j *Job, degraded bool) core.RunResult {
 	s := p.stats
 	s.mu.Lock()
 	s.running++
@@ -192,17 +303,76 @@ func (p *Pool) dispatch(ctx context.Context, j *Job) core.RunResult {
 		s.running--
 		s.mu.Unlock()
 	}()
-	opt := j.Spec.CoreOptions()
-	switch j.Spec.Algo {
-	case "repl":
-		return core.Replicated(ctx, j.nw, j.Spec.P, opt)
-	case "part":
-		return core.Partitioned(ctx, j.nw, j.Spec.P, opt)
-	case "lshape":
-		return core.LShaped(ctx, j.nw, j.Spec.P, opt)
-	default:
-		return core.Sequential(ctx, j.nw, opt)
+	algo := j.Spec.Algo
+	if degraded {
+		algo = "seq"
 	}
+	opt := j.Spec.CoreOptions()
+	// Lockstep drivers must never outwait the job deadline on a dead
+	// worker's barrier: give stragglers half the deadline to show up,
+	// so the abort still leaves time for a retry.
+	opt.BarrierDeadline = p.deadlineFor(j) / 2
+	var run core.RunResult
+	var wf *core.WorkerFailure
+	core.Guard("service", 0, func(f *core.WorkerFailure) { wf = f }, func() {
+		fault.Inject(fault.PointServiceJob)
+		switch algo {
+		case "repl":
+			run = core.Replicated(ctx, j.nw, j.Spec.P, opt)
+		case "part":
+			run = core.Partitioned(ctx, j.nw, j.Spec.P, opt)
+		case "lshape":
+			run = core.LShaped(ctx, j.nw, j.Spec.P, opt)
+		default:
+			run = core.Sequential(ctx, j.nw, opt)
+		}
+	})
+	if wf != nil {
+		run = core.RunResult{Algorithm: algo, P: j.Spec.P, Failure: wf}
+	}
+	return run
+}
+
+// recordFaults classifies one attempt's failure signals into the
+// stats counters.
+func (p *Pool) recordFaults(run core.RunResult) {
+	s := p.stats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults.DriverRecoveries += int64(run.Recovered)
+	if run.Failure == nil {
+		return
+	}
+	var wf *core.WorkerFailure
+	if errors.As(run.Failure, &wf) {
+		switch wf.Cause {
+		case core.CauseStraggler:
+			s.faults.Stragglers++
+		default:
+			s.faults.WorkerPanics++
+		}
+	}
+}
+
+func (p *Pool) noteRetry() {
+	s := p.stats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults.JobRetries++
+}
+
+func (p *Pool) noteDegraded() {
+	s := p.stats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults.DegradedRuns++
+}
+
+func (p *Pool) noteFailedJob() {
+	s := p.stats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults.FailedJobs++
 }
 
 // countAlgo attributes one served job (cache hit included) to its
@@ -235,10 +405,10 @@ func (p *Pool) Shutdown(grace time.Duration) {
 		j.Cancel()
 	}
 	done := make(chan struct{})
-	go func() {
+	go core.Guard("service", -1, nil, func() {
 		p.wg.Wait()
 		close(done)
-	}()
+	})
 	select {
 	case <-done:
 	case <-time.After(grace):

@@ -1,0 +1,142 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAbortWakesWaiters(t *testing.T) {
+	m := NewMachine(3, DefaultModel())
+	var wg sync.WaitGroup
+	oks := make([]bool, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			oks[w] = m.Barrier(w)
+		}(w)
+	}
+	// Worker 2 "panics" instead of arriving.
+	time.Sleep(10 * time.Millisecond)
+	m.Abort("worker 2 panicked")
+	wg.Wait()
+	if oks[0] || oks[1] {
+		t.Fatalf("aborted barrier returned ok: %v", oks)
+	}
+	if reason, ab := m.Aborted(); !ab || reason == "" {
+		t.Fatalf("Aborted() = %q,%v", reason, ab)
+	}
+	// Late arrival (the recovered straggler) must not block.
+	if m.Barrier(2) {
+		t.Fatal("post-abort arrival returned ok")
+	}
+}
+
+func TestBarrierDeadlineDetectsStraggler(t *testing.T) {
+	m := NewMachine(3, DefaultModel())
+	m.SetBarrierDeadline(30 * time.Millisecond)
+	var wg sync.WaitGroup
+	oks := make([]bool, 3)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			oks[w] = m.Barrier(w)
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(300 * time.Millisecond) // straggler
+		oks[2] = m.Barrier(2)
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier deadlocked despite deadline")
+	}
+	if oks[0] || oks[1] || oks[2] {
+		t.Fatalf("deadline-aborted barrier returned ok: %v", oks)
+	}
+	missing := m.Missing()
+	if len(missing) != 1 || missing[0] != 2 {
+		t.Fatalf("missing = %v want [2]", missing)
+	}
+}
+
+func TestClearAbortRearms(t *testing.T) {
+	m := NewMachine(2, DefaultModel())
+	m.Abort("boom")
+	if m.Barrier(0) {
+		t.Fatal("barrier ok while aborted")
+	}
+	m.ClearAbort()
+	var wg sync.WaitGroup
+	oks := make([]bool, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			oks[w] = m.Barrier(w)
+		}(w)
+	}
+	wg.Wait()
+	if !oks[0] || !oks[1] {
+		t.Fatalf("re-armed barrier failed: %v", oks)
+	}
+}
+
+func TestSetParticipantsShrinksBarrier(t *testing.T) {
+	m := NewMachine(4, DefaultModel())
+	m.SetParticipants(2)
+	var wg sync.WaitGroup
+	oks := make([]bool, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m.Charge(w, int64(10*(w+1)))
+			oks[w] = m.Barrier(w)
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("2-participant barrier on a 4-clock machine hung")
+	}
+	if !oks[0] || !oks[1] {
+		t.Fatalf("shrunk barrier failed: %v", oks)
+	}
+	want := int64(20) + DefaultModel().Barrier
+	if m.Clock(0) != want || m.Clock(1) != want {
+		t.Fatalf("participating clocks = %d,%d want %d", m.Clock(0), m.Clock(1), want)
+	}
+	if m.Clock(3) != 0 {
+		t.Fatalf("non-participating clock moved: %d", m.Clock(3))
+	}
+}
+
+func TestNormalReleaseStopsDeadlineTimer(t *testing.T) {
+	m := NewMachine(2, DefaultModel())
+	m.SetBarrierDeadline(50 * time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if !m.Barrier(w) {
+				t.Errorf("worker %d: healthy barrier aborted", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	time.Sleep(120 * time.Millisecond) // let a leaked timer fire
+	if _, ab := m.Aborted(); ab {
+		t.Fatal("released barrier aborted later (timer leaked)")
+	}
+}

@@ -19,6 +19,7 @@ package vtime
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Model holds the per-operation cost constants in abstract time
@@ -79,11 +80,32 @@ type Machine struct {
 	barCond *sync.Cond
 	// barriers is guarded by barMu.
 	barriers int64
+	// participants is guarded by barMu: how many workers each
+	// barrier waits for. Starts at p; a driver that loses workers
+	// shrinks it so the survivors' barriers still release.
+	participants int
+	// aborted is guarded by barMu. Once set, every Barrier (waiting
+	// or future) returns false until ClearAbort.
+	aborted bool
+	// abortReason is guarded by barMu.
+	abortReason string
+	// missing is guarded by barMu: the workers that had not arrived
+	// when a deadline abort fired.
+	missing []int
+	// arrived is guarded by barMu: who has reached the current
+	// barrier generation.
+	arrived map[int]bool
+	// barDeadline is guarded by barMu; 0 disables the straggler
+	// detector.
+	barDeadline time.Duration
+	// barTimer is guarded by barMu: the current generation's
+	// straggler timer, armed by the first waiter.
+	barTimer *time.Timer
 }
 
 // NewMachine returns a machine with p worker clocks at 0.
 func NewMachine(p int, m Model) *Machine {
-	mc := &Machine{model: m, clocks: make([]int64, p)}
+	mc := &Machine{model: m, clocks: make([]int64, p), participants: p, arrived: map[int]bool{}}
 	mc.barCond = sync.NewCond(&mc.barMu)
 	return mc
 }
@@ -152,36 +174,167 @@ func (mc *Machine) ChargeLock(w int) {
 	mc.Charge(w, mc.model.Lock)
 }
 
-// Barrier blocks until all p workers have arrived, then advances
-// every clock to the maximum plus the barrier overhead. It is the
-// modeled and actual synchronization point of the replicated
-// algorithm's per-extraction lockstep.
-func (mc *Machine) Barrier(w int) {
+// SetParticipants shrinks (or restores) the number of workers each
+// barrier waits for. Call only while no worker is between barriers —
+// drivers use it after wg.Wait, before relaunching a reduced round.
+func (mc *Machine) SetParticipants(n int) {
 	mc.barMu.Lock()
+	defer mc.barMu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	if n > len(mc.clocks) {
+		n = len(mc.clocks)
+	}
+	mc.participants = n
+}
+
+// SetBarrierDeadline arms the straggler detector: if a barrier's
+// first waiter has been blocked for d without the barrier releasing,
+// the machine aborts — every waiter (and every later arrival, such as
+// the straggler itself) gets false from Barrier, so the surviving
+// workers exit the round in agreement instead of deadlocking. 0
+// disables detection.
+func (mc *Machine) SetBarrierDeadline(d time.Duration) {
+	mc.barMu.Lock()
+	defer mc.barMu.Unlock()
+	mc.barDeadline = d
+}
+
+// Abort publishes a failure to every barrier: current waiters wake
+// with false, and future arrivals return false immediately, until
+// ClearAbort. Guard sinks call it when a worker goroutine panics so
+// its peers cannot block forever on a barrier the dead worker will
+// never reach.
+func (mc *Machine) Abort(reason string) {
+	mc.barMu.Lock()
+	defer mc.barMu.Unlock()
+	mc.abortLocked(reason, nil)
+}
+
+//repolint:requires barMu
+func (mc *Machine) abortLocked(reason string, missing []int) {
+	if mc.aborted {
+		return
+	}
+	mc.aborted = true
+	mc.abortReason = reason
+	mc.missing = missing
+	if mc.barTimer != nil {
+		mc.barTimer.Stop()
+		mc.barTimer = nil
+	}
+	mc.barCond.Broadcast()
+}
+
+// Aborted reports whether the machine's barriers are aborted, and
+// why.
+func (mc *Machine) Aborted() (string, bool) {
+	mc.barMu.Lock()
+	defer mc.barMu.Unlock()
+	return mc.abortReason, mc.aborted
+}
+
+// Missing returns the workers that had not arrived when a deadline
+// abort fired — the stragglers a driver should requeue around. It is
+// nil for panic-initiated aborts (the Guard sink knows the worker).
+func (mc *Machine) Missing() []int {
+	mc.barMu.Lock()
+	defer mc.barMu.Unlock()
+	out := make([]int, len(mc.missing))
+	copy(out, mc.missing)
+	return out
+}
+
+// ClearAbort re-arms the machine for another round: the abort flag,
+// arrival tracking and any pending straggler timer are reset. Call
+// only after every worker goroutine of the aborted round has exited
+// (wg.Wait), or a late straggler could join the new round's barrier.
+func (mc *Machine) ClearAbort() {
+	mc.barMu.Lock()
+	defer mc.barMu.Unlock()
+	mc.aborted = false
+	mc.abortReason = ""
+	mc.missing = nil
+	mc.barCount = 0
+	mc.barGen++
+	mc.arrived = map[int]bool{}
+	if mc.barTimer != nil {
+		mc.barTimer.Stop()
+		mc.barTimer = nil
+	}
+}
+
+// Barrier blocks until all participants have arrived, then advances
+// every participating clock to the maximum plus the barrier overhead
+// and reports true. It is the modeled and actual synchronization
+// point of the replicated algorithm's per-extraction lockstep.
+//
+// It reports false when the machine aborts — a peer panicked
+// (Abort) or stalled past the barrier deadline — in which case clocks
+// are left as they are and the caller must unwind its round.
+func (mc *Machine) Barrier(w int) bool {
+	mc.barMu.Lock()
+	if mc.aborted {
+		mc.barMu.Unlock()
+		return false
+	}
 	gen := mc.barGen
 	mc.barCount++
-	if mc.barCount == len(mc.clocks) {
-		// Last arrival: level all clocks to max + overhead.
+	mc.arrived[w] = true
+	if mc.barCount == mc.participants {
+		// Last arrival: level participating clocks to max + overhead.
+		if mc.barTimer != nil {
+			mc.barTimer.Stop()
+			mc.barTimer = nil
+		}
 		max := int64(0)
-		for i := range mc.clocks {
+		for i := 0; i < mc.participants; i++ {
 			if c := atomic.LoadInt64(&mc.clocks[i]); c > max {
 				max = c
 			}
 		}
-		for i := range mc.clocks {
+		for i := 0; i < mc.participants; i++ {
 			atomic.StoreInt64(&mc.clocks[i], max+mc.model.Barrier)
 		}
 		mc.barriers++
 		mc.barCount = 0
 		mc.barGen++
+		mc.arrived = map[int]bool{}
 		mc.barCond.Broadcast()
 		mc.barMu.Unlock()
-		return
+		return true
 	}
-	for gen == mc.barGen {
+	if mc.barDeadline > 0 && mc.barTimer == nil {
+		//repolint:allow lockdiscipline -- deadlineAbort runs later on the timer's own goroutine, never under this Barrier's barMu hold
+		mc.barTimer = time.AfterFunc(mc.barDeadline, func() { mc.deadlineAbort(gen) })
+	}
+	for gen == mc.barGen && !mc.aborted {
 		mc.barCond.Wait()
 	}
+	ok := gen != mc.barGen
 	mc.barMu.Unlock()
+	return ok
+}
+
+// deadlineAbort fires when a barrier generation outlived the
+// straggler deadline: it records which workers never arrived and
+// aborts. A release that raced the timer (gen already advanced) is a
+// no-op.
+func (mc *Machine) deadlineAbort(gen int) {
+	mc.barMu.Lock()
+	defer mc.barMu.Unlock()
+	if gen != mc.barGen || mc.aborted || mc.barCount == 0 {
+		return
+	}
+	var missing []int
+	for i := 0; i < mc.participants; i++ {
+		if !mc.arrived[i] {
+			missing = append(missing, i)
+		}
+	}
+	mc.barTimer = nil
+	mc.abortLocked("barrier deadline exceeded waiting for stragglers", missing)
 }
 
 // Barriers returns how many barriers completed.
