@@ -53,7 +53,7 @@ func main() {
 	cfg.MaxDeadline = *maxDl
 	cfg.DrainGrace = *grace
 
-	srv := service.NewServer(cfg)
+	srv := service.NewServer(context.Background(), cfg)
 	srv.Start()
 
 	httpSrv := &http.Server{

@@ -6,12 +6,14 @@
 // be ported to the real framework mechanically if a vendored x/tools
 // ever becomes available.
 //
-// Analyzers are package-local: a Pass sees one package's syntax and
-// types and reports diagnostics against it. Cross-package facts are
-// deliberately out of scope; every invariant checked by this repo's
-// analyzers (index invalidation, lock discipline, map iteration order,
-// vtime charging) is expressible within the declaring package because
-// the checked types and their annotations live together.
+// Analyzers come in two granularities. Package-local analyzers (a
+// Pass sees one package's syntax and types) cover invariants whose
+// evidence lives inside the declaring package: index invalidation,
+// lock discipline, map iteration order, vtime charging. Whole-program
+// analyzers (a ProgramPass sees every loaded package at once, plus
+// the callgraph and cfg support packages) cover properties that only
+// exist across call edges: lock-acquisition ordering, context
+// propagation, and fault-point reachability.
 package analysis
 
 import (

@@ -18,6 +18,7 @@ import (
 	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -37,24 +38,7 @@ var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
 	fset := token.NewFileSet()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("read testdata dir: %v", err)
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("parse: %v", err)
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		t.Fatalf("no Go files in %s", dir)
-	}
+	files := parseDir(t, fset, dir)
 	imp := importer.ForCompiler(fset, "source", nil)
 	tpkg, info, err := analysis.Check(fset, imp, files[0].Name.Name, files)
 	if err != nil {
@@ -74,7 +58,104 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 	diags = analysis.Filter(fset, files, diags)
 	analysis.SortDiagnostics(fset, diags)
+	diffWants(t, fset, files, diags)
+}
 
+// RunProgram loads several testdata package directories as one
+// mini-program — each directory is one package, importable by the
+// later ones under its package name (`import "liba"`) — applies the
+// whole-program analyzer, filters suppressions per package exactly as
+// the repolint driver does, and diffs the diagnostics against the
+// // want comments across all files.
+//
+// Directories are loaded in the order given, so dependencies must
+// precede their importers.
+func RunProgram(t *testing.T, a *analysis.ProgramAnalyzer, dirs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &mapImporter{
+		pkgs:     map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		files := parseDir(t, fset, dir)
+		name := files[0].Name.Name
+		tpkg, info, err := analysis.Check(fset, imp, name, files)
+		if err != nil {
+			t.Fatalf("typecheck testdata %s: %v", dir, err)
+		}
+		imp.pkgs[name] = tpkg
+		pkgs = append(pkgs, &analysis.Package{
+			ImportPath: tpkg.Path(),
+			Dir:        dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	prog := analysis.NewProgram(pkgs)
+	diags, err := analysis.RunProgramAnalyzer(a, prog)
+	if err != nil {
+		t.Fatalf("run analyzer: %v", err)
+	}
+	var filtered []analysis.Diagnostic
+	var allFiles []*ast.File
+	buckets := analysis.SplitByPackage(prog, diags)
+	for i, pkg := range pkgs {
+		filtered = append(filtered, analysis.Filter(fset, pkg.Files, buckets[i])...)
+		allFiles = append(allFiles, pkg.Files...)
+	}
+	filtered = append(filtered, buckets[-1]...)
+	analysis.SortDiagnostics(fset, filtered)
+	diffWants(t, fset, allFiles, filtered)
+}
+
+// mapImporter resolves the already-checked testdata packages by
+// package name before falling back to the source importer for the
+// standard library.
+type mapImporter struct {
+	pkgs     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// parseDir parses every Go file directly in dir, with comments.
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read testdata dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	return files
+}
+
+// diffWants matches diagnostics against the // want comments: every
+// diagnostic must be claimed by a want on its line and every want must
+// claim exactly one diagnostic.
+func diffWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
 	type key struct {
 		file string
 		line int

@@ -1,0 +1,291 @@
+// Package ctxflow is a whole-program analyzer that guards the
+// cancellation threading of //repolint:crash-tolerant packages
+// against regression. A crash-tolerant driver is only as abortable as
+// its weakest link: one function that swaps the caller's context for
+// context.Background(), or one unbounded loop that never polls
+// cancellation, and a wedged worker survives every shutdown path.
+//
+// Three rules, all scoped to packages whose package doc carries
+// //repolint:crash-tolerant:
+//
+//  1. No context.Background() or context.TODO() calls. Fresh root
+//     contexts belong in main and in tests (neither is loaded here);
+//     library code must thread the context it was given.
+//
+//  2. A function that receives a context.Context must propagate it:
+//     any call it makes to a context-accepting callee must pass an
+//     expression mentioning a context-typed variable (the parameter
+//     itself or something derived from it), not a freshly minted
+//     root.
+//
+//  3. An unbounded loop (`for { ... }` with no condition) in a
+//     function with a context in scope must poll a cancellation
+//     checkpoint each trip: ctx.Err()/ctx.Done(), a select, a channel
+//     receive, a vtime abort check (Aborted/Barrier), or a call to a
+//     function that transitively checkpoints (a callgraph fixpoint,
+//     so extracting the poll into a helper stays clean).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "ctxflow",
+	Doc: "verify crash-tolerant packages thread contexts to callees and " +
+		"poll cancellation in unbounded loops",
+	Run: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := callgraph.Build(pass.Prog)
+	// checkpoints marks functions that poll cancellation somewhere in
+	// their own body or (not through `go`) a callee's.
+	checkpoints := g.Fixpoint(func(n *callgraph.Node) bool {
+		body := n.Body()
+		if body == nil {
+			return false
+		}
+		found := false
+		inspectOwn(body, n.Lit, func(x ast.Node) bool {
+			if isDirectCheckpoint(nodePkg(n), x) {
+				found = true
+			}
+			return true
+		})
+		return found
+	}, callgraph.FollowSameStack)
+
+	for _, pkg := range pass.Prog.Pkgs {
+		if !analysis.PackageAnnotated(pkg.Files, "crash-tolerant") {
+			continue
+		}
+		c := &checker{pass: pass, pkg: pkg, graph: g, checkpoints: checkpoints}
+		for _, f := range pkg.Files {
+			c.checkRoots(f)
+		}
+		for _, n := range g.Nodes {
+			if n.Pkg == pkg {
+				c.checkFunc(n)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass        *analysis.ProgramPass
+	pkg         *analysis.Package
+	graph       *callgraph.Graph
+	checkpoints map[callgraph.Key]bool
+}
+
+// checkRoots reports every context.Background/TODO call in the file
+// (rule 1).
+func (c *checker) checkRoots(f *ast.File) {
+	ast.Inspect(f, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := contextRootCall(c.pkg, call); ok {
+			c.pass.Reportf(call.Pos(),
+				"context.%s() creates a fresh root context in a crash-tolerant package; thread the caller's ctx instead",
+				name)
+		}
+		return true
+	})
+}
+
+// contextRootCall reports whether call is context.Background() or
+// context.TODO(), returning the function name.
+func contextRootCall(pkg *analysis.Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// checkFunc applies rules 2 and 3 to one function or literal.
+func (c *checker) checkFunc(n *callgraph.Node) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	hasCtxParam := funcHasContextParam(c.pkg, n)
+
+	inspectOwn(body, n.Lit, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if hasCtxParam {
+				c.checkPropagation(x)
+			}
+		case *ast.ForStmt:
+			if x.Cond == nil && (hasCtxParam || usesContextVar(c.pkg, x.Body)) {
+				c.checkLoop(x)
+			}
+		}
+		return true
+	})
+}
+
+// funcHasContextParam reports whether the node's parameter list
+// includes a context.Context.
+func funcHasContextParam(pkg *analysis.Package, n *callgraph.Node) bool {
+	var ft *ast.FuncType
+	if n.Decl != nil {
+		ft = n.Decl.Type
+	} else if n.Lit != nil {
+		ft = n.Lit.Type
+	}
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t, ok := pkg.Info.Types[field.Type]; ok && isContextType(t.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// checkPropagation enforces rule 2 on one call: if the callee accepts
+// a context, the context argument must mention a context-typed
+// variable. Fresh-root arguments are rule 1's finding, reported there.
+func (c *checker) checkPropagation(call *ast.CallExpr) {
+	t, ok := c.pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := t.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		if !isContextType(sig.Params().At(i).Type()) {
+			continue
+		}
+		arg := call.Args[i]
+		if rootCall, ok := arg.(*ast.CallExpr); ok {
+			if _, isRoot := contextRootCall(c.pkg, rootCall); isRoot {
+				return // rule 1 already reports the fresh root
+			}
+		}
+		if !usesContextVar(c.pkg, arg) {
+			c.pass.Reportf(arg.Pos(),
+				"call drops the function's context: the context argument does not derive from a ctx in scope")
+		}
+		return
+	}
+}
+
+// usesContextVar reports whether the expression subtree mentions a
+// variable of type context.Context.
+func usesContextVar(pkg *analysis.Package, x ast.Node) bool {
+	found := false
+	ast.Inspect(x, func(y ast.Node) bool {
+		id, ok := y.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pkg.Info.Uses[id].(*types.Var); ok && isContextType(v.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkLoop enforces rule 3 on one unbounded loop.
+func (c *checker) checkLoop(loop *ast.ForStmt) {
+	found := false
+	ast.Inspect(loop.Body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // runs on its own schedule
+		}
+		if isDirectCheckpoint(c.pkg, x) {
+			found = true
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if key, ok := c.graph.CalleeKeyIn(c.pkg, call); ok && c.checkpoints[key] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	if !found {
+		c.pass.Reportf(loop.Pos(),
+			"unbounded loop never polls cancellation; check ctx.Err(), select on ctx.Done(), or call a checkpointing helper each iteration")
+	}
+}
+
+// isDirectCheckpoint reports whether the node is itself a cancellation
+// checkpoint: ctx.Err()/ctx.Done(), a select statement, a channel
+// receive, or an abortable-barrier call (Aborted/Barrier).
+func isDirectCheckpoint(pkg *analysis.Package, x ast.Node) bool {
+	switch x := x.(type) {
+	case *ast.SelectStmt:
+		return true
+	case *ast.UnaryExpr:
+		return x.Op.String() == "<-"
+	case *ast.RangeStmt:
+		// Ranging over a channel blocks like a receive.
+		if t, ok := pkg.Info.Types[x.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		switch sel.Sel.Name {
+		case "Err", "Done":
+			if t, ok := pkg.Info.Types[sel.X]; ok && isContextType(t.Type) {
+				return true
+			}
+		case "Aborted", "Barrier":
+			// The vtime machine's abort-aware entry points; matched by
+			// name so fixtures need no real vtime dependency.
+			return true
+		}
+	}
+	return false
+}
+
+// nodePkg returns the node's declaring package.
+func nodePkg(n *callgraph.Node) *analysis.Package { return n.Pkg }
+
+// inspectOwn walks body without descending into function literals
+// other than own.
+func inspectOwn(body *ast.BlockStmt, own *ast.FuncLit, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != own {
+			return false
+		}
+		return fn(x)
+	})
+}

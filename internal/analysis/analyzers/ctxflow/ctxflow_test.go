@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/analyzers/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.RunProgram(t, ctxflow.Analyzer,
+		"testdata/src/libctx", "testdata/src/b")
+}

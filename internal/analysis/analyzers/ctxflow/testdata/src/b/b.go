@@ -1,0 +1,105 @@
+// Package b exercises the ctxflow analyzer: fresh root contexts,
+// dropped context parameters, unbounded loops with and without
+// cancellation checkpoints, and a justified suppression.
+//
+//repolint:crash-tolerant
+package b
+
+import (
+	"context"
+
+	"libctx"
+)
+
+func work() {}
+
+// helper accepts a context like a blocking callee would.
+func helper(ctx context.Context) {
+	_ = ctx
+}
+
+// freshRoot mints a root context inside a crash-tolerant package:
+// whatever runs under it outlives every caller cancellation.
+func freshRoot() context.Context {
+	return context.Background() // want `context\.Background\(\) creates a fresh root context`
+}
+
+// todoRoot is the same bug wearing the placeholder spelling.
+func todoRoot() context.Context {
+	return context.TODO() // want `context\.TODO\(\) creates a fresh root context`
+}
+
+// drop receives a context but hands its callee nothing derived from
+// it.
+func drop(ctx context.Context) {
+	helper(nil) // want `drops the function's context`
+}
+
+// propagate threads its context directly and through derivation: ok.
+func propagate(ctx context.Context) {
+	helper(ctx)
+	c2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	helper(c2)
+}
+
+// spin never polls cancellation; a dead peer leaves it running
+// forever.
+func spin(ctx context.Context) {
+	for { // want `unbounded loop never polls cancellation`
+		work()
+	}
+}
+
+// pollErr checks ctx.Err each trip: ok.
+func pollErr(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+// pollSelect blocks on ctx.Done: ok.
+func pollSelect(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// pollHelper checkpoints through the cross-package helper, which the
+// callgraph fixpoint recognizes.
+func pollHelper(ctx context.Context) {
+	for {
+		if libctx.Poll(ctx) {
+			return
+		}
+		work()
+	}
+}
+
+// machine mimics the vtime abortable-barrier surface.
+type machine struct{}
+
+func (machine) Aborted() bool { return false }
+
+// pollMachine checks the abortable machine each trip: ok.
+func pollMachine(ctx context.Context, m machine) {
+	for {
+		if m.Aborted() {
+			return
+		}
+		work()
+	}
+}
+
+// allowedRoot keeps a documented escape hatch.
+func allowedRoot() context.Context {
+	//repolint:allow ctxflow -- detached audit context, intentionally outliving requests
+	return context.Background()
+}

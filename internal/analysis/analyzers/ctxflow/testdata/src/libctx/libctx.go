@@ -1,0 +1,19 @@
+// Package libctx is the dependency half of the ctxflow fixtures. It
+// carries no crash-tolerant annotation, so its fresh root context is
+// legal here — and its Poll helper is a cancellation checkpoint that
+// crash-tolerant importers may rely on transitively through the
+// callgraph fixpoint.
+package libctx
+
+import "context"
+
+// Poll is a cancellation checkpoint usable from hot loops.
+func Poll(ctx context.Context) bool {
+	return ctx.Err() != nil
+}
+
+// Root mints a detached context: fine outside crash-tolerant
+// packages.
+func Root() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,368 @@
+// Package faultpoint is a whole-program analyzer that keeps the fault
+// injection surface honest. The chaos tests can only kill what the
+// code exposes: an injection site calling fault.Inject with an ad-hoc
+// string is invisible to the point registry, a registered point with
+// no site is dead weight that inflates apparent coverage, and a
+// Guard-spawned goroutine with no reachable site is a crash path the
+// chaos matrix can never exercise.
+//
+// Four checks:
+//
+//  1. Every fault.Inject / fault.InjectErr call site names a Point*
+//     constant from the fault package — no string literals, no
+//     locally-built names.
+//
+//  2. Every Point* constant has at least one injection site in the
+//     loaded program (report at the constant, which is where the dead
+//     registration lives).
+//
+//  3. Every goroutine spawned through core.Guard can reach at least
+//     one injection site through the call graph — otherwise the
+//     recover-and-report machinery on that goroutine is untestable.
+//
+//  4. The generated registry (internal/fault/registry_gen.go) matches
+//     the Point* constants; `repolint -write-faultpoints`
+//     regenerates it. The registry feeds RegistryWithPrefix, which
+//     the chaos tests iterate, so a stale registry silently narrows
+//     the chaos matrix.
+package faultpoint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "faultpoint",
+	Doc: "cross-check fault injection sites against the named-point " +
+		"registry and require Guard-spawned goroutines to reach one",
+	Run: run,
+}
+
+// point is one Point* constant of the fault package.
+type point struct {
+	name  string
+	value string
+	pos   token.Pos
+}
+
+func run(pass *analysis.ProgramPass) error {
+	faultPkg := findFaultPackage(pass.Prog)
+	if faultPkg == nil {
+		return nil // nothing to check without a fault package
+	}
+	points := collectPoints(faultPkg)
+	g := callgraph.Build(pass.Prog)
+
+	// Checks 1 and 2: sites name constants; constants have sites.
+	injected := map[string]bool{}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok || !isInjectCall(pkg, call) {
+					return true
+				}
+				if name, ok := pointConstArg(pkg, call); ok {
+					injected[name] = true
+				} else {
+					pass.Reportf(call.Pos(),
+						"fault injection site must name a fault.Point* constant, not an ad-hoc string, so the chaos matrix can see it")
+				}
+				return true
+			})
+		}
+	}
+	for _, p := range points {
+		if !injected[p.name] {
+			pass.Reportf(p.pos,
+				"fault point %s (%q) has no injection site; remove it or add a fault.Inject call",
+				p.name, p.value)
+		}
+	}
+
+	// Check 3: every Guard-spawned goroutine reaches an injection
+	// site. Spawned edges are followed — a worker that fans out again
+	// is covered by its children's sites.
+	injects := g.Fixpoint(func(n *callgraph.Node) bool {
+		body := n.Body()
+		if body == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(body, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+				return false
+			}
+			if call, ok := x.(*ast.CallExpr); ok && isInjectCall(n.Pkg, call) {
+				found = true
+			}
+			return true
+		})
+		return found
+	}, callgraph.FollowAll)
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				gs, ok := x.(*ast.GoStmt)
+				if !ok || !isGuardCall(pkg, gs.Call) || len(gs.Call.Args) == 0 {
+					return true
+				}
+				spawned := gs.Call.Args[len(gs.Call.Args)-1]
+				key, ok := resolveFuncArg(g, pkg, spawned)
+				if !ok {
+					return true // dynamic value: cannot decide statically
+				}
+				if !injects[key] {
+					pass.Reportf(gs.Pos(),
+						"Guard-spawned goroutine has no reachable fault injection point; the chaos tests cannot exercise its crash path")
+				}
+				return true
+			})
+		}
+	}
+
+	// Check 4: the generated registry matches the constants.
+	want := make([]string, 0, len(points))
+	for _, p := range points {
+		want = append(want, p.value)
+	}
+	sort.Strings(want)
+	got, pos, found := registryValues(faultPkg)
+	if !found {
+		if len(points) > 0 {
+			pass.Reportf(faultPkg.Files[0].Package,
+				"fault package has no generated registry; run `go run ./cmd/repolint -write-faultpoints`")
+		}
+	} else if !stringSlicesEqual(want, got) {
+		pass.Reportf(pos,
+			"fault-point registry is stale (have %d entries, code defines %d points); run `go run ./cmd/repolint -write-faultpoints`",
+			len(got), len(want))
+	}
+	return nil
+}
+
+// findFaultPackage returns the loaded package named "fault", the home
+// of the Point* constants and Inject entry points.
+func findFaultPackage(prog *analysis.Program) *analysis.Package {
+	for _, pkg := range prog.Pkgs {
+		if pkg.Types.Name() == "fault" {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// collectPoints gathers the Point* string constants, sorted by name.
+func collectPoints(pkg *analysis.Package) []point {
+	var out []point
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Point") {
+						continue
+					}
+					c, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					out = append(out, point{
+						name:  name.Name,
+						value: constant.StringVal(c.Val()),
+						pos:   name.Pos(),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// isInjectCall reports whether call targets fault.Inject or
+// fault.InjectErr.
+func isInjectCall(pkg *analysis.Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "fault" {
+		return false
+	}
+	return fn.Name() == "Inject" || fn.Name() == "InjectErr"
+}
+
+// isGuardCall reports whether call targets core.Guard (any package
+// named core, so fixtures need no real core dependency).
+func isGuardCall(pkg *analysis.Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "core" {
+		return false
+	}
+	return fn.Name() == "Guard"
+}
+
+// calleeFunc resolves the call's static target function, if any.
+func calleeFunc(pkg *analysis.Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pointConstArg reports whether the call's first argument is a Point*
+// constant of the fault package, returning the constant's name.
+func pointConstArg(pkg *analysis.Package, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	var id *ast.Ident
+	switch arg := call.Args[0].(type) {
+	case *ast.Ident:
+		id = arg
+	case *ast.SelectorExpr:
+		id = arg.Sel
+	default:
+		return "", false
+	}
+	c, ok := pkg.Info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Name() != "fault" {
+		return "", false
+	}
+	if !strings.HasPrefix(c.Name(), "Point") {
+		return "", false
+	}
+	return c.Name(), true
+}
+
+// resolveFuncArg resolves a goroutine-body argument — a function
+// literal, a named function, or a closure variable — to its callgraph
+// key.
+func resolveFuncArg(g *callgraph.Graph, pkg *analysis.Package, arg ast.Expr) (callgraph.Key, bool) {
+	switch arg := arg.(type) {
+	case *ast.FuncLit:
+		return g.LitKey(arg)
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[arg].(type) {
+		case *types.Func:
+			return callgraph.FuncKey(obj), true
+		case *types.Var:
+			if k, ok := g.Closures[obj]; ok {
+				return k, true
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[arg.Sel].(*types.Func); ok {
+			return callgraph.FuncKey(fn), true
+		}
+	}
+	return "", false
+}
+
+// registryValues extracts the string values of the fault package's
+// generated `var Registry = []string{...}` declaration.
+func registryValues(pkg *analysis.Package) (vals []string, pos token.Pos, found bool) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "Registry" {
+					continue
+				}
+				if len(vs.Values) != 1 {
+					return nil, vs.Pos(), true
+				}
+				cl, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					return nil, vs.Pos(), true
+				}
+				for _, elt := range cl.Elts {
+					if tv, ok := pkg.Info.Types[elt]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						vals = append(vals, constant.StringVal(tv.Value))
+					}
+				}
+				return vals, vs.Pos(), true
+			}
+		}
+	}
+	return nil, token.NoPos, false
+}
+
+func stringSlicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Points returns the sorted point values of the program's fault
+// package, for registry generation.
+func Points(prog *analysis.Program) []string {
+	pkg := findFaultPackage(prog)
+	if pkg == nil {
+		return nil
+	}
+	pts := collectPoints(pkg)
+	vals := make([]string, 0, len(pts))
+	for _, p := range pts {
+		vals = append(vals, p.value)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// FaultPackageDir returns the directory of the loaded fault package.
+func FaultPackageDir(prog *analysis.Program) (string, bool) {
+	pkg := findFaultPackage(prog)
+	if pkg == nil {
+		return "", false
+	}
+	return pkg.Dir, true
+}
+
+// RegistryFile renders the generated registry source file.
+func RegistryFile(points []string) []byte {
+	var b strings.Builder
+	b.WriteString("// Code generated by repolint -write-faultpoints; DO NOT EDIT.\n\n")
+	b.WriteString("package fault\n\n")
+	b.WriteString("// Registry lists every named fault point, sorted. The faultpoint\n")
+	b.WriteString("// analyzer fails CI when this drifts from the Point* constants, so\n")
+	b.WriteString("// chaos matrices built from RegistryWithPrefix can never silently\n")
+	b.WriteString("// under-cover the code.\n")
+	b.WriteString("var Registry = []string{\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "\t%q,\n", p)
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}

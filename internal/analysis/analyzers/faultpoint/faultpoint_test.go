@@ -1,0 +1,18 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/analyzers/faultpoint"
+)
+
+func TestFaultPoint(t *testing.T) {
+	analysistest.RunProgram(t, faultpoint.Analyzer,
+		"testdata/src/fault", "testdata/src/core", "testdata/src/c")
+}
+
+func TestFaultPointStaleRegistry(t *testing.T) {
+	analysistest.RunProgram(t, faultpoint.Analyzer,
+		"testdata/src/stalefault")
+}

@@ -1,0 +1,48 @@
+// Package c exercises the faultpoint analyzer: ad-hoc point strings,
+// Guard-spawned goroutines with and without reachable injection
+// points, and a justified suppression.
+package c
+
+import (
+	"core"
+	"fault"
+)
+
+// work injects at a named point: the canonical pattern.
+func work() {
+	fault.Inject(fault.PointUsed)
+}
+
+// adHoc injects at a string literal the chaos matrix cannot see.
+func adHoc() {
+	fault.Inject("c.adhoc") // want `must name a fault\.Point\* constant`
+}
+
+// inner reaches a point through the error-returning hook.
+func inner() error {
+	return fault.InjectErr(fault.PointInner)
+}
+
+// covered spawns a Guard whose body reaches an injection point
+// through a closure variable and a nested call: ok.
+func covered() {
+	body := func() { _ = inner() }
+	go core.Guard("c", 0, nil, func() { body() })
+}
+
+// dark spawns a Guard whose body never reaches any injection point,
+// so chaos tests cannot exercise its crash path.
+func dark(done chan struct{}) {
+	go core.Guard("c", 1, nil, func() { // want `no reachable fault injection point`
+		close(done)
+	})
+}
+
+// waiter is the documented exception: a drain helper with no crash
+// path worth injecting.
+func waiter(done chan struct{}) {
+	//repolint:allow faultpoint -- drain waiter has no crash path worth injecting
+	go core.Guard("c", 2, nil, func() {
+		<-done
+	})
+}

@@ -1,0 +1,9 @@
+// Package core is a miniature of the repo's crash-tolerance runtime:
+// Guard runs a function under a recover so chaos tests can panic it.
+package core
+
+// Guard supervises fn, swallowing injected panics.
+func Guard(algorithm string, worker int, sink func(), fn func()) {
+	defer func() { recover() }()
+	fn()
+}

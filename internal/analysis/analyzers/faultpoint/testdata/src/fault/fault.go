@@ -1,0 +1,25 @@
+// Package fault is a miniature of the repo's fault-injection
+// package: named Point* constants, a generated-style Registry, and
+// the Inject entry points the analyzer keys on.
+package fault
+
+// Named fault points. PointDead has no injection site anywhere in
+// the fixture program.
+const (
+	PointUsed  = "c.used"
+	PointInner = "c.inner"
+	PointDead  = "c.dead" // want `fault point PointDead \("c\.dead"\) has no injection site`
+)
+
+// Registry mirrors the generated registry in the real repo; here it
+// is in sync with the constants above.
+var Registry = []string{"c.dead", "c.inner", "c.used"}
+
+// Inject is the panic-style injection hook.
+func Inject(point string) { _ = point }
+
+// InjectErr is the error-returning injection hook.
+func InjectErr(point string) error {
+	_ = point
+	return nil
+}

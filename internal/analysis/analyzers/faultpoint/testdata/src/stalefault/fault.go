@@ -1,0 +1,17 @@
+// Package fault (fixture "stalefault") holds a registry that no
+// longer matches the Point* constants, as happens when a point is
+// renamed without regenerating.
+package fault
+
+// PointOnly is the single live point; the registry below predates it.
+const PointOnly = "only.point"
+
+// Registry is stale: it lists a removed point instead of PointOnly.
+var Registry = []string{"removed.point"} // want `fault-point registry is stale`
+
+// Inject is the injection hook.
+func Inject(point string) { _ = point }
+
+func use() {
+	Inject(PointOnly)
+}

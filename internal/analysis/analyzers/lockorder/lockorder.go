@@ -1,0 +1,655 @@
+// Package lockorder is a whole-program analyzer that builds the
+// lock-acquisition graph of the loaded packages and reports two kinds
+// of deadlock risk the flow-insensitive lockdiscipline analyzer cannot
+// see:
+//
+//   - lock-order cycles: if one execution acquires A then B while
+//     another acquires B then A, the program can deadlock. Every
+//     Lock/RLock call site and every call made while holding a lock
+//     contributes edges held-lock → acquired-lock (the callee's
+//     transitive may-acquire set, computed as a fixpoint over the call
+//     graph); a cycle among package-level or field locks is reported
+//     at the witnessing acquisition site.
+//
+//   - leaked locks: a Lock whose matching Unlock is unreachable on
+//     some control-flow path (an early error return, an explicit
+//     panic). A deferred Unlock discharges every path; otherwise each
+//     path from the Lock to the function exit must pass the matching
+//     Unlock. Leaks are reported even inside Guard-spawned goroutines:
+//     Guard recovers the panic but the mutex stays locked, wedging
+//     every later acquirer.
+//
+// Lock identity is syntactic but type-anchored: field locks are keyed
+// by (package, named type, field name) — so two different *Job values'
+// mu fields are one lock "repro/internal/service.Job.mu" — and
+// package-level locks by (package, var name). Locks held entering a
+// function follow the //repolint:requires <mu> annotation. Local
+// mutexes participate only in the leak check and in same-function
+// ordering; they cannot alias across functions.
+//
+// The held-set analysis is a may-analysis over the cfg package's
+// basic blocks: a lock is "held" at a point if some path acquires it
+// without releasing it. Goroutine bodies spawned with `go` start with
+// an empty held set (a new stack holds nothing), and calls inside a
+// `go` statement charge the spawned function, not the spawner.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "lockorder",
+	Doc: "report lock-order cycles (potential deadlocks) and Lock calls " +
+		"whose Unlock is unreachable on some control-flow path",
+	Run: run,
+}
+
+// lockOp is one classified mutex method call.
+type lockOp struct {
+	call *ast.CallExpr
+	// id is the lock's identity key.
+	id string
+	// global is true for package-level and field locks, which can
+	// alias across functions and so join the ordering graph.
+	global bool
+	// read marks RLock/RUnlock.
+	read bool
+	// acquire is true for Lock/RLock, false for Unlock/RUnlock.
+	acquire bool
+}
+
+// edge is one observed acquisition order: to was acquired while from
+// was held, witnessed at pos.
+type edge struct {
+	from, to string
+	pos      token.Pos
+}
+
+type checker struct {
+	pass  *analysis.ProgramPass
+	graph *callgraph.Graph
+	// acquires is the transitive may-acquire set (global lock ids) of
+	// every function, the callgraph fixpoint of direct acquisitions.
+	acquires map[callgraph.Key]map[string]bool
+	// edges is the global lock-order graph: edges[from][to] holds the
+	// first witnessed position.
+	edges map[string]map[string]token.Pos
+	// self collects re-acquisition sites (pos → lock id). The
+	// dataflow may process a block several times before converging,
+	// so findings are deduplicated here and reported once at the end.
+	self map[token.Pos]string
+}
+
+func run(pass *analysis.ProgramPass) error {
+	c := &checker{
+		pass:     pass,
+		graph:    callgraph.Build(pass.Prog),
+		acquires: map[callgraph.Key]map[string]bool{},
+		edges:    map[string]map[string]token.Pos{},
+		self:     map[token.Pos]string{},
+	}
+	c.computeAcquires()
+	for _, n := range c.sortedNodes() {
+		c.checkFunc(n)
+	}
+	poss := make([]token.Pos, 0, len(c.self))
+	for pos := range c.self {
+		poss = append(poss, pos)
+	}
+	sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+	for _, pos := range poss {
+		c.pass.Reportf(pos,
+			"acquiring %s while a path already holds it (self-deadlock; sync mutexes are not reentrant)",
+			displayID(c.self[pos]))
+	}
+	c.reportCycles()
+	return nil
+}
+
+// sortedNodes returns the callgraph nodes in deterministic key order.
+func (c *checker) sortedNodes() []*callgraph.Node {
+	keys := make([]string, 0, len(c.graph.Nodes))
+	for k := range c.graph.Nodes {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	nodes := make([]*callgraph.Node, len(keys))
+	for i, k := range keys {
+		nodes[i] = c.graph.Nodes[callgraph.Key(k)]
+	}
+	return nodes
+}
+
+// computeAcquires runs the may-acquire fixpoint: a function may
+// acquire every global lock it locks directly plus everything its
+// callees may acquire.
+func (c *checker) computeAcquires() {
+	for k, n := range c.graph.Nodes {
+		set := map[string]bool{}
+		if body := n.Body(); body != nil {
+			// Spawned goroutines acquire on their own stacks, so their
+			// locks do not join the spawner's summary.
+			ast.Inspect(body, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.FuncLit:
+					if x != n.Lit {
+						return false
+					}
+				case *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					if op, ok := c.classify(n.Pkg, x); ok && op.acquire && op.global {
+						set[op.id] = true
+					}
+				}
+				return true
+			})
+		}
+		c.acquires[k] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for k, n := range c.graph.Nodes {
+			for _, call := range n.Calls {
+				if !callgraph.FollowSameStack(call) {
+					continue
+				}
+				for id := range c.acquires[call.Callee] {
+					if !c.acquires[k][id] {
+						c.acquires[k][id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// inspectOwn walks body with fn but does not descend into function
+// literals other than own (the node's own literal, nil for
+// declarations): nested literals execute on their own schedule and
+// have their own callgraph nodes.
+func inspectOwn(body *ast.BlockStmt, own *ast.FuncLit, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != own {
+			return false
+		}
+		return fn(x)
+	})
+}
+
+// classify decides whether call is a sync.Mutex / sync.RWMutex lock
+// operation and resolves the lock's identity.
+func (c *checker) classify(pkg *analysis.Package, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	name := sel.Sel.Name
+	var acquire, read bool
+	switch name {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return lockOp{}, false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return lockOp{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isSyncMutex(sig.Recv().Type()) {
+		return lockOp{}, false
+	}
+	id, global := c.lockID(pkg, sel.X)
+	return lockOp{call: call, id: id, global: global, read: read, acquire: acquire}, true
+}
+
+// isSyncMutex reports whether t (possibly a pointer) is sync.Mutex or
+// sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// lockID names the mutex receiver expression. Field locks key on the
+// owning named type, package vars on the package; anything else
+// (locals, complex expressions) is keyed by its printed form and
+// marked non-global.
+func (c *checker) lockID(pkg *analysis.Package, x ast.Expr) (string, bool) {
+	switch x := x.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name(), true
+			}
+		}
+		return "local:" + x.Name, false
+	case *ast.SelectorExpr:
+		// pkgname.mu — a package-level var in another package.
+		if id, ok := x.X.(*ast.Ident); ok {
+			if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() + "." + x.Sel.Name, true
+			}
+		}
+		// recv.mu — key by the receiver's named type.
+		if t, ok := pkg.Info.Types[x.X]; ok {
+			rt := t.Type
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if n, ok := rt.(*types.Named); ok && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + x.Sel.Name, true
+			}
+		}
+	}
+	return "expr:" + types.ExprString(x), false
+}
+
+// requiresHeld resolves a //repolint:requires <mu> annotation on the
+// declaration to initial held lock ids.
+func (c *checker) requiresHeld(n *callgraph.Node) map[string]bool {
+	held := map[string]bool{}
+	if n.Decl == nil {
+		return held
+	}
+	val, ok := analysis.TypeAnnotation(n.Decl.Doc, "requires")
+	if !ok || val == "" {
+		return held
+	}
+	for _, mu := range strings.Fields(val) {
+		id := n.Pkg.ImportPath + "." + mu
+		if n.Decl.Recv != nil && len(n.Decl.Recv.List) > 0 {
+			if t, ok := n.Pkg.Info.Types[n.Decl.Recv.List[0].Type]; ok {
+				rt := t.Type
+				if p, ok := rt.(*types.Pointer); ok {
+					rt = p.Elem()
+				}
+				if named, ok := rt.(*types.Named); ok {
+					id = n.Pkg.ImportPath + "." + named.Obj().Name() + "." + mu
+				}
+			}
+		}
+		held[id] = true
+	}
+	return held
+}
+
+// checkFunc runs the held-set dataflow over one function's CFG,
+// emitting ordering edges, and then the unlock-path check for each
+// acquisition site.
+func (c *checker) checkFunc(n *callgraph.Node) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	g := cfg.New(body)
+
+	// Deferred unlocks discharge the leak check and stay held for
+	// ordering purposes (they release only at function exit).
+	deferred := map[string]bool{} // id+"/r" for RUnlock
+	inspectOwn(body, n.Lit, func(x ast.Node) bool {
+		if d, ok := x.(*ast.DeferStmt); ok {
+			if op, ok := c.classify(n.Pkg, d.Call); ok && !op.acquire {
+				deferred[unlockKey(op)] = true
+			}
+		}
+		return true
+	})
+
+	entry := c.requiresHeld(n)
+
+	// May-held fixpoint over blocks. in[b] = union of out[preds];
+	// out[b] = transfer(in[b]). Edges are emitted inside transfer and
+	// deduplicated, so re-running a block is harmless.
+	in := make([]map[string]bool, len(g.Blocks))
+	out := make([]map[string]bool, len(g.Blocks))
+	preds := make([][]int, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b.Index)
+		}
+	}
+	var sites []lockOp // acquisition sites for the leak check
+	record := true
+	for pass := 0; ; pass++ {
+		changed := false
+		for _, b := range g.Blocks {
+			h := map[string]bool{}
+			if b == g.Entry {
+				for id := range entry {
+					h[id] = true
+				}
+			}
+			for _, p := range preds[b.Index] {
+				for id := range out[p] {
+					h[id] = true
+				}
+			}
+			in[b.Index] = h
+			o := c.transfer(n, b, copySet(h), record, &sites)
+			if !setsEqual(out[b.Index], o) {
+				changed = true
+			}
+			out[b.Index] = o
+		}
+		record = false // sites collected on the first pass only
+		if !changed {
+			break
+		}
+	}
+
+	// Leak check: each acquisition must reach its unlock on all paths.
+	for _, op := range sites {
+		if deferred[unlockKey(op)] {
+			continue
+		}
+		c.checkUnlockPaths(n, g, op)
+	}
+}
+
+// unlockKey pairs Lock with Unlock and RLock with RUnlock.
+func unlockKey(op lockOp) string {
+	if op.read {
+		return op.id + "/r"
+	}
+	return op.id
+}
+
+// copySet clones a string set.
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// transfer processes one block's nodes in order against the held set,
+// emitting ordering edges, and returns the resulting held set. When
+// record is true, acquisition sites are appended to *sites.
+func (c *checker) transfer(n *callgraph.Node, b *cfg.Block, held map[string]bool, record bool, sites *[]lockOp) map[string]bool {
+	for _, node := range b.Nodes {
+		// Walk each CFG node in source order, skipping spawned and
+		// nested-literal code, handling defers specially.
+		var walk func(x ast.Node) bool
+		walk = func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				if n.Lit == nil || x != n.Lit {
+					return false
+				}
+			case *ast.GoStmt:
+				// The spawned goroutine has its own empty held set;
+				// its node is checked separately.
+				return false
+			case *ast.DeferStmt:
+				if op, ok := c.classify(n.Pkg, x.Call); ok {
+					if !op.acquire {
+						// Deferred unlock: releases at exit; the lock
+						// stays held for the rest of the body.
+						return false
+					}
+				}
+				// Other deferred calls run at exit with an unknown
+				// held set; charging the current one is conservative.
+				return true
+			case *ast.CallExpr:
+				c.transferCall(n, x, held, record, sites)
+			}
+			return true
+		}
+		ast.Inspect(node, walk)
+	}
+	return held
+}
+
+// transferCall applies one call expression to the held set.
+func (c *checker) transferCall(n *callgraph.Node, call *ast.CallExpr, held map[string]bool, record bool, sites *[]lockOp) {
+	if op, ok := c.classify(n.Pkg, call); ok {
+		if op.acquire {
+			for h := range held {
+				c.addEdge(h, op.id, call.Pos())
+			}
+			if held[op.id] {
+				c.self[call.Pos()] = op.id
+			}
+			held[op.id] = true
+			if record {
+				*sites = append(*sites, op)
+			}
+		} else {
+			delete(held, op.id)
+		}
+		return
+	}
+	// A plain call: charge the callee's transitive may-acquire set
+	// against every held lock.
+	if len(held) == 0 {
+		return
+	}
+	if key, ok := c.graph.CalleeKeyIn(n.Pkg, call); ok {
+		for a := range c.acquires[key] {
+			for h := range held {
+				c.addEdge(h, a, call.Pos())
+			}
+		}
+	}
+}
+
+func (c *checker) addEdge(from, to string, pos token.Pos) {
+	m := c.edges[from]
+	if m == nil {
+		m = map[string]token.Pos{}
+		c.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+// checkUnlockPaths reports if some path from the acquisition site to
+// the function exit misses the matching unlock.
+func (c *checker) checkUnlockPaths(n *callgraph.Node, g *cfg.Graph, op lockOp) {
+	// Find the block and node index holding the acquisition.
+	blk, idx := -1, -1
+	for _, b := range g.Blocks {
+		for i, node := range b.Nodes {
+			if node.Pos() <= op.call.Pos() && op.call.End() <= node.End() {
+				blk, idx = b.Index, i
+			}
+		}
+	}
+	if blk < 0 {
+		return
+	}
+	// Does the rest of the acquiring block release it?
+	if c.blockUnlocks(n, g.Blocks[blk], idx+1, op) {
+		return
+	}
+	// DFS over successors: a path that reaches Exit before a block
+	// containing the unlock is a leak.
+	seen := map[int]bool{blk: true}
+	stack := []int{}
+	for _, s := range g.Blocks[blk].Succs {
+		stack = append(stack, s.Index)
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		b := g.Blocks[i]
+		if b == g.Exit {
+			c.pass.Reportf(op.call.Pos(),
+				"%s is not released on every path to return (add a defer or unlock before each exit)",
+				displayID(op.id))
+			return
+		}
+		if c.blockUnlocks(n, b, 0, op) {
+			continue
+		}
+		for _, s := range b.Succs {
+			stack = append(stack, s.Index)
+		}
+	}
+}
+
+// blockUnlocks reports whether the block's nodes from index i on
+// contain the matching unlock.
+func (c *checker) blockUnlocks(n *callgraph.Node, b *cfg.Block, i int, op lockOp) bool {
+	found := false
+	for ; i < len(b.Nodes); i++ {
+		inspectOwnNode(b.Nodes[i], n.Lit, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if u, ok := c.classify(n.Pkg, call); ok && !u.acquire && unlockKey(u) == unlockKey(op) {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectOwnNode is inspectOwn for a single node.
+func inspectOwnNode(node ast.Node, own *ast.FuncLit, fn func(ast.Node) bool) {
+	ast.Inspect(node, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != own {
+			return false
+		}
+		return fn(x)
+	})
+}
+
+// displayID strips the module prefix for readable diagnostics.
+func displayID(id string) string {
+	return strings.TrimPrefix(id, "repro/")
+}
+
+// reportCycles finds cycles in the lock-order graph and reports each
+// once, at the witness position of its first edge.
+func (c *checker) reportCycles() {
+	ids := make([]string, 0, len(c.edges))
+	for id := range c.edges {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	reported := map[string]bool{}
+	// Colored DFS from every node; a back edge to a node on the
+	// current path closes a cycle.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var path []string
+	var visit func(id string)
+	visit = func(id string) {
+		color[id] = grey
+		path = append(path, id)
+		tos := make([]string, 0, len(c.edges[id]))
+		for to := range c.edges[id] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			switch color[to] {
+			case white:
+				visit(to)
+			case grey:
+				c.reportCycle(append(cycleFrom(path, to), to), reported)
+			}
+		}
+		path = path[:len(path)-1]
+		color[id] = black
+	}
+	for _, id := range ids {
+		if color[id] == white {
+			visit(id)
+		}
+	}
+}
+
+// cycleFrom returns the suffix of path starting at id.
+func cycleFrom(path []string, id string) []string {
+	for i, p := range path {
+		if p == id {
+			return append([]string(nil), path[i:]...)
+		}
+	}
+	return append([]string(nil), path...)
+}
+
+// reportCycle reports one cycle (nodes ...a, b, c, a) once, keyed by
+// its canonical member set.
+func (c *checker) reportCycle(cycle []string, reported map[string]bool) {
+	members := append([]string(nil), cycle[:len(cycle)-1]...)
+	sort.Strings(members)
+	key := strings.Join(members, "→")
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+
+	parts := make([]string, len(cycle))
+	for i, id := range cycle {
+		parts[i] = displayID(id)
+	}
+	// Witness: the first edge of the cycle.
+	pos := c.edges[cycle[0]][cycle[1]]
+	if len(cycle) == 2 && cycle[0] == cycle[1] {
+		// Self-edge cycles are already reported as self-deadlocks at
+		// the acquisition site.
+		return
+	}
+	c.pass.Reportf(pos,
+		"lock-order cycle %s: these locks are acquired in conflicting orders on different paths (potential deadlock)",
+		strings.Join(parts, " → "))
+}

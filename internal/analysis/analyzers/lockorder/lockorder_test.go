@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/analyzers/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.RunProgram(t, lockorder.Analyzer,
+		"testdata/src/liba", "testdata/src/a")
+}

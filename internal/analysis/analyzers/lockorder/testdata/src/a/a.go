@@ -1,0 +1,155 @@
+// Package a exercises the lockorder analyzer: a same-package ordering
+// cycle, a cross-package cycle through a callee's acquisition, leaked
+// locks on error and panic paths, a self-deadlock, goroutine-spawn
+// isolation, and a justified suppression.
+package a
+
+import (
+	"sync"
+
+	"liba"
+)
+
+// A and B pair for the same-package cycle.
+type A struct{ mu sync.Mutex }
+
+// B is A's counterpart.
+type B struct{ mu sync.Mutex }
+
+// ab acquires A.mu then B.mu; ba does the reverse: a deadlock if both
+// run concurrently.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle a\.A\.mu → a\.B\.mu → a\.A\.mu`
+	defer b.mu.Unlock()
+}
+
+// ba is the conflicting order.
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// X pairs with liba.Shared for the cross-package cycle.
+type X struct{ mu sync.Mutex }
+
+// xThenShared holds X.mu across a call into liba; the callee's
+// acquisition of Shared.Mu is the interprocedural half of the cycle.
+func xThenShared(x *X, s *liba.Shared) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	s.Bump() // want `lock-order cycle a\.X\.mu → liba\.Shared\.Mu → a\.X\.mu`
+}
+
+// sharedThenX is the conflicting order, acquiring the imported lock
+// directly.
+func sharedThenX(x *X, s *liba.Shared) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+}
+
+// C and D pair for the consistent-order negative: both functions
+// acquire C.mu before D.mu, so there is no cycle to report.
+type C struct{ mu sync.Mutex }
+
+// D is C's counterpart.
+type D struct{ mu sync.Mutex }
+
+func cdOne(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+func cdTwo(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// E and F pair for the spawn-isolation negative: the goroutine
+// acquires F.mu on its own fresh stack, so holding E.mu at the spawn
+// is not an ordering edge, and fe's reverse order closes no cycle.
+type E struct{ mu sync.Mutex }
+
+// F is E's counterpart.
+type F struct{ mu sync.Mutex }
+
+func spawnWhileHolding(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+	}()
+}
+
+func fe(e *E, f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+// gmu is a package-level lock for the leak cases.
+var gmu sync.Mutex
+
+// leak returns early on the error path with gmu still held.
+func leak(fail bool) bool {
+	gmu.Lock() // want `a\.gmu is not released on every path to return`
+	if fail {
+		return false
+	}
+	gmu.Unlock()
+	return true
+}
+
+// panicLeak panics with the lock held; even a recover wrapper leaves
+// the mutex locked forever.
+func panicLeak(a *A, bad bool) {
+	a.mu.Lock() // want `a\.A\.mu is not released on every path to return`
+	if bad {
+		panic("invariant violated")
+	}
+	a.mu.Unlock()
+}
+
+// branches releases on every path explicitly (the vtime.Barrier
+// style): no finding.
+func branches(n int) int {
+	gmu.Lock()
+	if n > 0 {
+		gmu.Unlock()
+		return n
+	}
+	gmu.Unlock()
+	return 0
+}
+
+// relock acquires gmu twice on one path; sync mutexes are not
+// reentrant.
+func relock() {
+	gmu.Lock()
+	defer gmu.Unlock()
+	gmu.Lock() // want `acquiring a\.gmu while a path already holds it`
+	gmu.Unlock()
+}
+
+// lockHandoff intentionally returns holding gmu; ownership transfers
+// to the caller, which is exactly what the allow mechanism is for.
+func lockHandoff() {
+	//repolint:allow lockorder -- ownership transfers to the caller, which must release
+	gmu.Lock()
+}
+
+// unlockHandoff is lockHandoff's release half.
+func unlockHandoff() {
+	gmu.Unlock()
+}

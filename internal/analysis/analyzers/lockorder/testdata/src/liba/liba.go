@@ -1,0 +1,21 @@
+// Package liba is the dependency half of the lockorder fixtures: its
+// lock can be reached from the importing package both directly (Mu is
+// exported) and through Bump, so importers can build cross-package
+// acquisition edges.
+package liba
+
+import "sync"
+
+// Shared owns one lock.
+type Shared struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Bump acquires Mu; callers holding their own lock create an
+// interprocedural ordering edge onto Shared.Mu.
+func (s *Shared) Bump() {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.n++
+}

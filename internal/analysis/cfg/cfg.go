@@ -1,0 +1,412 @@
+// Package cfg builds a per-function control-flow graph at statement
+// granularity, for the interprocedural analyzers (lockorder, ctxflow)
+// that need path questions the flow-insensitive suite cannot answer:
+// "is there a path from this Lock to a return that skips the Unlock?",
+// "does every trip around this loop pass a cancellation checkpoint?".
+//
+// The graph is deliberately simple — basic blocks of ast.Node slices
+// connected by successor edges — and errs toward extra edges rather
+// than missing ones: an analysis that walks all paths sees a superset
+// of the executions, so a "some path misses X" diagnostic can be a
+// false positive (suppressible) but a "all paths reach X" conclusion
+// is trustworthy.
+//
+// Compound statements are decomposed: an if contributes its Init and
+// Cond to the current block and its branches become separate blocks,
+// so a block never contains statements from two sides of a branch.
+// Nested function literals are NOT traversed — they execute at some
+// other time; callers analyze each literal's body as its own graph.
+//
+// Abnormal exits are modeled coarsely: panic(...) ends its block with
+// an edge to Exit (the deferred-call path), and a goto to an unknown
+// label falls back to an Exit edge rather than dropping the path.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block: a maximal straight-line run of nodes.
+type Block struct {
+	// Nodes are the statements and sub-expressions (if conditions,
+	// for init/post, switch tags) executed in order in this block.
+	// Analyses walk them with ast.Inspect but should skip nested
+	// *ast.FuncLit subtrees.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+	// Index is the block's position in Graph.Blocks.
+	Index int
+}
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the single synthetic exit block: every return, every
+	// fall-off-the-end, and every modeled panic edge leads here.
+	Exit *Block
+	// Blocks lists every block, Entry first, Exit last.
+	Blocks []*Block
+}
+
+// New builds the graph of one function body. A nil body (declaration
+// without definition) yields a graph whose entry falls straight
+// through to exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{}
+	b.entry = b.newBlock()
+	b.exit = b.newBlock()
+	cur := b.entry
+	if body != nil {
+		cur = b.stmts(cur, body.List)
+	}
+	b.edge(cur, b.exit)
+	// Move the exit block to the end for readability.
+	g := &Graph{Entry: b.entry, Exit: b.exit}
+	for _, blk := range b.blocks {
+		if blk != b.exit {
+			blk.Index = len(g.Blocks)
+			g.Blocks = append(g.Blocks, blk)
+		}
+	}
+	b.exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, b.exit)
+	return g
+}
+
+// builder carries the under-construction graph and the loop/label
+// context needed to resolve break, continue and goto.
+type builder struct {
+	blocks []*Block
+	entry  *Block
+	exit   *Block
+	// loops is the stack of enclosing breakable/continuable targets.
+	loops []loopCtx
+	// labels maps label names to their targets, filled lazily as
+	// labeled statements are reached.
+	labels map[string]*loopCtx
+	// pendingLabel names the label wrapping the next loop/switch
+	// pushed, so `break lbl` / `continue lbl` resolve to it.
+	pendingLabel string
+}
+
+// loopCtx is one enclosing construct break/continue can target.
+type loopCtx struct {
+	label string
+	// brk receives break edges; nil for constructs break cannot
+	// target.
+	brk *Block
+	// cont receives continue edges; nil for switch/select.
+	cont *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through cur and returns the block
+// control ends in (nil when control cannot fall through, e.g. after a
+// return).
+func (b *builder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code still gets blocks so its nodes are
+			// visible to analyses, but nothing flows into them.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt adds one statement to cur and returns the block control
+// continues in (nil if control cannot fall through).
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		then := b.newBlock()
+		b.edge(cur, then)
+		after := b.newBlock()
+		thenEnd := b.stmts(then, s.Body.List)
+		b.edge(thenEnd, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			elsEnd := b.stmt(els, s.Else)
+			b.edge(elsEnd, after)
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			// Only a conditional loop can exit at the head.
+			b.edge(head, after)
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head)
+		b.pushLoop(s, after, post)
+		bodyEnd := b.stmts(body, s.Body.List)
+		b.popLoop()
+		b.edge(bodyEnd, post)
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, s.X)
+		b.edge(cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after) // range may be empty or exhausted
+		b.pushLoop(s, after, head)
+		bodyEnd := b.stmts(body, s.Body.List)
+		b.popLoop()
+		b.edge(bodyEnd, head)
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return b.switchStmt(cur, s)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.pushLoop(s, after, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			if cc.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			b.edge(cur, blk)
+			end := b.stmts(blk, cc.Body)
+			b.edge(end, after)
+		}
+		b.popLoop()
+		if len(s.Body.List) == 0 {
+			// Empty select blocks forever; no fall-through.
+			return nil
+		}
+		return after
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(cur, s)
+
+	case *ast.LabeledStmt:
+		return b.labeled(cur, s)
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if isPanic(s.X) {
+			b.edge(cur, b.exit)
+			return nil
+		}
+		return cur
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.AssignStmt, *ast.IncDecStmt,
+		*ast.SendStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	default:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchStmt handles expression and type switches identically: every
+// clause is an alternative branch, fallthrough adds an edge to the
+// next clause's body.
+func (b *builder) switchStmt(cur *Block, s ast.Stmt) *Block {
+	var init ast.Stmt
+	var tag ast.Node
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init = s.Init
+		if s.Tag != nil {
+			tag = s.Tag
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		init = s.Init
+		tag = s.Assign
+		clauses = s.Body.List
+	}
+	if init != nil {
+		cur = b.stmt(cur, init)
+	}
+	if tag != nil {
+		cur.Nodes = append(cur.Nodes, tag)
+	}
+	after := b.newBlock()
+	b.pushLoop(s, after, nil)
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		bodies[i] = b.newBlock()
+		for _, e := range cc.List {
+			bodies[i].Nodes = append(bodies[i].Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(cur, bodies[i])
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		end, fell := b.clauseBody(bodies[i], cc.Body)
+		if fell && i+1 < len(clauses) {
+			b.edge(end, bodies[i+1])
+		} else {
+			b.edge(end, after)
+		}
+	}
+	b.popLoop()
+	if !hasDefault || len(clauses) == 0 {
+		// No default: the switch can fall through untaken.
+		b.edge(cur, after)
+	}
+	return after
+}
+
+// clauseBody threads one case body and reports whether it ended in
+// fallthrough.
+func (b *builder) clauseBody(cur *Block, body []ast.Stmt) (*Block, bool) {
+	for _, s := range body {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			return cur, true
+		}
+		if cur == nil {
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur, false
+}
+
+// branch resolves break/continue/goto against the loop stack.
+func (b *builder) branch(cur *Block, s *ast.BranchStmt) *Block {
+	cur.Nodes = append(cur.Nodes, s)
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := b.findLoop(name, true); t != nil {
+			b.edge(cur, t.brk)
+			return nil
+		}
+	case "continue":
+		if t := b.findLoop(name, false); t != nil {
+			b.edge(cur, t.cont)
+			return nil
+		}
+	case "goto":
+		if t, ok := b.labels[name]; ok && t.cont != nil {
+			b.edge(cur, t.cont)
+			return nil
+		}
+	}
+	// Unresolvable target (forward goto, malformed code): the
+	// conservative choice is an exit edge so the path is not lost.
+	b.edge(cur, b.exit)
+	return nil
+}
+
+// labeled registers the label and threads the underlying statement.
+// The label context is pushed before the statement is built so that
+// `continue lbl` / `break lbl` inside resolve; a goto to a label we
+// have already placed resolves to the statement's head.
+func (b *builder) labeled(cur *Block, s *ast.LabeledStmt) *Block {
+	head := b.newBlock()
+	b.edge(cur, head)
+	if b.labels == nil {
+		b.labels = map[string]*loopCtx{}
+	}
+	b.labels[s.Label.Name] = &loopCtx{label: s.Label.Name, cont: head}
+	b.pendingLabel = s.Label.Name
+	return b.stmt(head, s.Stmt)
+}
+
+func (b *builder) pushLoop(s ast.Stmt, brk, cont *Block) {
+	b.loops = append(b.loops, loopCtx{label: b.pendingLabel, brk: brk, cont: cont})
+	b.pendingLabel = ""
+}
+
+func (b *builder) popLoop() {
+	b.loops = b.loops[:len(b.loops)-1]
+}
+
+// findLoop returns the innermost context matching the label (or the
+// innermost suitable one for an unlabeled branch).
+func (b *builder) findLoop(label string, isBreak bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		c := &b.loops[i]
+		if label != "" && c.label != label {
+			continue
+		}
+		if !isBreak && c.cont == nil {
+			// Unlabeled continue skips switch/select contexts.
+			if label != "" {
+				return nil
+			}
+			continue
+		}
+		return c
+	}
+	return nil
+}
+
+// isPanic reports whether the expression is a direct panic(...) call.
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

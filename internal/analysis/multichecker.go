@@ -3,28 +3,66 @@ package analysis
 import (
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 )
 
 // Main is the multichecker driver behind cmd/repolint: it loads the
 // packages named by the command-line patterns (default "./..."),
-// applies every analyzer to every package, filters justified
-// suppressions, and prints the surviving diagnostics. It returns the
-// process exit code: 0 when the tree is clean, 1 on findings, 2 on
-// load errors.
-func Main(out io.Writer, args []string, analyzers ...*Analyzer) int {
+// applies every package-local analyzer to every package and every
+// whole-program analyzer to the program they form, filters justified
+// suppressions, and prints the surviving diagnostics. Leading
+// arguments that name analyzers restrict the run to that subset. It
+// returns the process exit code: 0 when the tree is clean, 1 on
+// findings, 2 on load errors.
+func Main(out io.Writer, args []string, pkgAnalyzers []*Analyzer, progAnalyzers []*ProgramAnalyzer) int {
 	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
 	fs.SetOutput(out)
 	fs.Usage = func() {
-		fmt.Fprintf(out, "usage: repolint [packages]\n\nAnalyzers:\n")
-		for _, a := range analyzers {
+		fmt.Fprintf(out, "usage: repolint [analyzers] [packages]\n\nAnalyzers:\n")
+		for _, a := range pkgAnalyzers {
 			fmt.Fprintf(out, "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		for _, a := range progAnalyzers {
+			fmt.Fprintf(out, "  %-16s %s (whole-program)\n", a.Name, firstLine(a.Doc))
 		}
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	patterns := fs.Args()
+
+	// Peel off leading analyzer names; whatever remains is package
+	// patterns.
+	byName := make(map[string]bool)
+	for _, a := range pkgAnalyzers {
+		byName[a.Name] = true
+	}
+	for _, a := range progAnalyzers {
+		byName[a.Name] = true
+	}
+	selected := make(map[string]bool)
+	for len(patterns) > 0 && byName[patterns[0]] {
+		selected[patterns[0]] = true
+		patterns = patterns[1:]
+	}
+	if len(selected) > 0 {
+		var pa []*Analyzer
+		for _, a := range pkgAnalyzers {
+			if selected[a.Name] {
+				pa = append(pa, a)
+			}
+		}
+		pkgAnalyzers = pa
+		var ga []*ProgramAnalyzer
+		for _, a := range progAnalyzers {
+			if selected[a.Name] {
+				ga = append(ga, a)
+			}
+		}
+		progAnalyzers = ga
+	}
+
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -33,24 +71,52 @@ func Main(out io.Writer, args []string, analyzers ...*Analyzer) int {
 		fmt.Fprintf(out, "repolint: %v\n", err)
 		return 2
 	}
-	exit := 0
-	for _, pkg := range pkgs {
-		var diags []Diagnostic
-		for _, a := range analyzers {
+
+	// Per-package diagnostics, bucketed so program-level findings can
+	// join the owning package's suppression filtering below.
+	perPkg := make([][]Diagnostic, len(pkgs))
+	for i, pkg := range pkgs {
+		for _, a := range pkgAnalyzers {
 			ds, err := RunAnalyzer(a, pkg)
 			if err != nil {
 				fmt.Fprintf(out, "repolint: %v\n", err)
 				return 2
 			}
-			diags = append(diags, ds...)
+			perPkg[i] = append(perPkg[i], ds...)
 		}
-		diags = Filter(pkg.Fset, pkg.Files, diags)
-		SortDiagnostics(pkg.Fset, diags)
+	}
+
+	prog := NewProgram(pkgs)
+	var orphans []Diagnostic
+	for _, a := range progAnalyzers {
+		ds, err := RunProgramAnalyzer(a, prog)
+		if err != nil {
+			fmt.Fprintf(out, "repolint: %v\n", err)
+			return 2
+		}
+		for idx, bucket := range SplitByPackage(prog, ds) {
+			if idx < 0 {
+				orphans = append(orphans, bucket...)
+				continue
+			}
+			perPkg[idx] = append(perPkg[idx], bucket...)
+		}
+	}
+
+	exit := 0
+	report := func(fset *token.FileSet, diags []Diagnostic) {
 		for _, d := range diags {
-			fmt.Fprintf(out, "%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			fmt.Fprintf(out, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
 			exit = 1
 		}
 	}
+	for i, pkg := range pkgs {
+		diags := Filter(pkg.Fset, pkg.Files, perPkg[i])
+		SortDiagnostics(pkg.Fset, diags)
+		report(pkg.Fset, diags)
+	}
+	SortDiagnostics(prog.Fset, orphans)
+	report(prog.Fset, orphans)
 	return exit
 }
 

@@ -41,11 +41,12 @@ func panicPlan(point string, after int) fault.Plan {
 }
 
 func TestReplicatedPanicAtEveryPoint(t *testing.T) {
-	points := []string{
-		fault.PointReplicatedMatrix,
-		fault.PointReplicatedSearch,
-		fault.PointReplicatedDivide,
-		fault.PointReplicatedBarrier,
+	// The matrix comes from the generated registry, not a hand list:
+	// adding a replicated-driver point (and regenerating with
+	// `repolint -write-faultpoints`) widens this test automatically.
+	points := fault.RegistryWithPrefix("core.replicated.")
+	if len(points) == 0 {
+		t.Fatal("registry lists no core.replicated. points")
 	}
 	for _, point := range points {
 		t.Run(point, func(t *testing.T) {
@@ -158,10 +159,9 @@ func TestPartitionedMergePanicStaysEquivalent(t *testing.T) {
 }
 
 func TestLShapedRecoversAtEveryPoint(t *testing.T) {
-	points := []string{
-		fault.PointLShapedMatrix,
-		fault.PointLShapedCover,
-		fault.PointLShapedForward,
+	points := fault.RegistryWithPrefix("core.lshaped.")
+	if len(points) == 0 {
+		t.Fatal("registry lists no core.lshaped. points")
 	}
 	for _, point := range points {
 		t.Run(point, func(t *testing.T) {

@@ -21,7 +21,10 @@
 // identically.
 package fault
 
-import "time"
+import (
+	"strings"
+	"time"
+)
 
 // Mode selects what an injection point does when it triggers.
 type Mode string
@@ -118,3 +121,18 @@ const (
 	PointBlifRead = "blif.read"
 	PointEqnRead  = "eqn.read"
 )
+
+// RegistryWithPrefix returns the registered fault points whose names
+// start with prefix, in sorted order. Chaos tests iterate these
+// instead of hand-maintained lists, so adding a Point* constant (and
+// regenerating the registry with `repolint -write-faultpoints`)
+// automatically widens every matching matrix.
+func RegistryWithPrefix(prefix string) []string {
+	var out []string
+	for _, p := range Registry {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

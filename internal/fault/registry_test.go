@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegistryMatchesSource re-derives the point list straight from
+// the package's source — every `Point* = "..."` constant — and
+// requires the generated Registry to match exactly. This is the
+// belt to the faultpoint analyzer's suspenders: even if repolint is
+// skipped, a stale registry fails plain `go test`.
+func TestRegistryMatchesSource(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatalf("parse package: %v", err)
+	}
+	var want []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		for name, f := range pkg.Files {
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, id := range vs.Names {
+						if !strings.HasPrefix(id.Name, "Point") || i >= len(vs.Values) {
+							continue
+						}
+						lit, ok := vs.Values[i].(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING {
+							continue
+						}
+						val, err := strconv.Unquote(lit.Value)
+						if err != nil {
+							t.Fatalf("unquote %s: %v", lit.Value, err)
+						}
+						want = append(want, val)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("found no Point* constants in package source")
+	}
+	got := append([]string(nil), Registry...)
+	if len(got) != len(want) {
+		t.Fatalf("Registry has %d entries, source defines %d points; run `go run ./cmd/repolint -write-faultpoints`\nregistry: %v\nsource:   %v",
+			len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Registry[%d] = %q, source says %q; run `go run ./cmd/repolint -write-faultpoints`", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRegistryWithPrefix pins the helper's filter-and-order contract.
+func TestRegistryWithPrefix(t *testing.T) {
+	pts := RegistryWithPrefix("core.replicated.")
+	if len(pts) == 0 {
+		t.Fatal("no core.replicated. points")
+	}
+	for _, p := range pts {
+		if !strings.HasPrefix(p, "core.replicated.") {
+			t.Fatalf("point %q does not match prefix", p)
+		}
+	}
+	if !sort.StringsAreSorted(pts) {
+		t.Fatalf("points not sorted: %v", pts)
+	}
+	if got := RegistryWithPrefix("no.such.prefix."); len(got) != 0 {
+		t.Fatalf("expected empty slice, got %v", got)
+	}
+}

@@ -103,12 +103,14 @@ type PoolStats struct {
 }
 
 // NewPool returns an unstarted pool of the given size feeding from q
-// and publishing completed computations to c.
-func NewPool(workers int, q *Queue, c *Cache, defaultDeadline, maxDeadline time.Duration) *Pool {
+// and publishing completed computations to c. The pool's workers and
+// every job they run inherit from ctx, so cancelling it aborts the
+// whole pool; Shutdown cancels the derived context itself.
+func NewPool(ctx context.Context, workers int, q *Queue, c *Cache, defaultDeadline, maxDeadline time.Duration) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	return &Pool{
 		queue:           q,
 		cache:           c,
@@ -405,6 +407,10 @@ func (p *Pool) Shutdown(grace time.Duration) {
 		j.Cancel()
 	}
 	done := make(chan struct{})
+	// The drain waiter only blocks on wg.Wait and closes a channel; it
+	// runs no factorization code, so there is nothing for the chaos
+	// matrix to kill inside it.
+	//repolint:allow faultpoint -- drain waiter has no crash path worth injecting
 	go core.Guard("service", -1, nil, func() {
 		p.wg.Wait()
 		close(done)

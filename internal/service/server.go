@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -125,8 +126,10 @@ type Server struct {
 	seq int64
 }
 
-// NewServer builds a server (pool not yet started).
-func NewServer(cfg Config) *Server {
+// NewServer builds a server (pool not yet started). The pool and all
+// jobs inherit from ctx; pass the process root so a daemon-level
+// shutdown can abort every in-flight factorization.
+func NewServer(ctx context.Context, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	q := NewQueue(cfg.QueueCap)
 	c := NewCache(cfg.CacheCap)
@@ -134,7 +137,7 @@ func NewServer(cfg Config) *Server {
 		cfg:   cfg,
 		queue: q,
 		cache: c,
-		pool:  NewPool(cfg.Workers, q, c, cfg.DefaultDeadline, cfg.MaxDeadline),
+		pool:  NewPool(ctx, cfg.Workers, q, c, cfg.DefaultDeadline, cfg.MaxDeadline),
 		jobs:  map[string]*Job{},
 	}
 }

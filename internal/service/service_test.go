@@ -47,7 +47,7 @@ type harness struct {
 
 func newHarness(t *testing.T, cfg service.Config) *harness {
 	t.Helper()
-	srv := service.NewServer(cfg)
+	srv := service.NewServer(context.Background(), cfg)
 	srv.Start()
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {

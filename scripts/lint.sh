@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Single lint entrypoint for CI and developers: build everything,
+# run go vet, then run the repolint analyzer suite (package-local and
+# whole-program) over the tree. Finally regenerate the fault-point
+# registry and fail if the checked-in copy has drifted from the
+# injection sites actually present in the source.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build"
+go build ./...
+
+echo "== vet"
+go vet ./...
+
+echo "== repolint"
+go run ./cmd/repolint ./...
+
+echo "== fault-point registry drift"
+go run ./cmd/repolint -write-faultpoints ./...
+if ! git diff --exit-code -- internal/fault/registry_gen.go; then
+    echo "fault-point registry is out of date;" \
+         "commit the regenerated internal/fault/registry_gen.go" >&2
+    exit 1
+fi
+
+echo "lint passed"
