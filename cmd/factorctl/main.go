@@ -10,13 +10,18 @@
 //	factorctl [-addr URL] result [-format blif|eqn] [-o FILE] JOB
 //	factorctl [-addr URL] cancel JOB
 //	factorctl [-addr URL] [-retries N] stats
+//	factorctl [-addr URL] [-retries N] peers
 //
 // The server address defaults to $FACTORD_ADDR, then
-// http://127.0.0.1:8455.
+// http://127.0.0.1:8455. -addr (and $FACTORD_ADDR) accepts a
+// comma-separated list of base URLs; against a cluster, any node
+// serves any request, and the client fails over to the next address
+// when one stops answering.
 //
 // Submissions and polls retry on 429 (queue full), 503 (draining) and
 // transport errors with jittered exponential backoff, honoring the
-// server's Retry-After header when present; -retries 0 disables.
+// server's Retry-After header — both delta-seconds and HTTP-date
+// forms — when present; -retries 0 disables.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -43,7 +49,7 @@ func defaultAddr() string {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: factorctl [-addr URL] {submit|status|wait|result|cancel|stats} ...\n")
+	fmt.Fprintf(os.Stderr, "usage: factorctl [-addr URL[,URL...]] {submit|status|wait|result|cancel|stats|peers} ...\n")
 	os.Exit(2)
 }
 
@@ -57,7 +63,16 @@ func main() {
 	if flag.NArg() < 1 {
 		usage()
 	}
-	c := &client{base: strings.TrimRight(addr, "/"), retries: retries}
+	var bases []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			bases = append(bases, strings.TrimRight(a, "/"))
+		}
+	}
+	if len(bases) == 0 {
+		usage()
+	}
+	c := &client{bases: bases, retries: retries}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
@@ -73,6 +88,8 @@ func main() {
 		err = cmdCancel(c, args)
 	case "stats":
 		err = cmdStats(c, args)
+	case "peers":
+		err = cmdPeers(c, args)
 	default:
 		usage()
 	}
@@ -82,11 +99,26 @@ func main() {
 	}
 }
 
-// client wraps the factord HTTP API.
+// client wraps the factord HTTP API. With more than one base URL it
+// talks to bases[cur] and rotates to the next on transport errors —
+// against a cluster, any node serves any request, so failover is just
+// asking a different one.
 type client struct {
-	base    string
+	bases   []string
+	cur     int
 	http    http.Client
 	retries int
+}
+
+// base is the currently-preferred server.
+func (c *client) base() string { return c.bases[c.cur] }
+
+// failover rotates to the next server after a transport error.
+func (c *client) failover() {
+	if len(c.bases) > 1 {
+		c.cur = (c.cur + 1) % len(c.bases)
+		fmt.Fprintf(os.Stderr, "factorctl: failing over to %s\n", c.base())
+	}
 }
 
 // Backoff bounds for retriable requests.
@@ -111,10 +143,8 @@ func retriable(resp *http.Response, err error) bool {
 // backoff with jitter in [d/2, d] so a herd of clients spreads out.
 func backoff(attempt int, resp *http.Response) time.Duration {
 	if resp != nil {
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-				return time.Duration(secs) * time.Second
-			}
+		if d, ok := retryAfterDelay(resp.Header.Get("Retry-After"), time.Now()); ok {
+			return d
 		}
 	}
 	d := ctlBaseDelay << attempt
@@ -124,6 +154,31 @@ func backoff(attempt int, resp *http.Response) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
+// retryAfterDelay parses a Retry-After header value, which RFC 9110
+// allows in two forms: delta-seconds ("2") and an HTTP-date ("Fri, 07
+// Aug 2026 09:30:00 GMT"). A date in the past clamps to zero (retry
+// immediately) rather than being treated as malformed.
+func retryAfterDelay(ra string, now time.Time) (time.Duration, bool) {
+	ra = strings.TrimSpace(ra)
+	if ra == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(ra); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // doRetry runs attempt (which must build a fresh request each call,
 // including its body) until it returns a non-retriable outcome or the
 // retry budget is spent. The final response (or error) is the
@@ -131,6 +186,11 @@ func backoff(attempt int, resp *http.Response) time.Duration {
 func (c *client) doRetry(attempt func() (*http.Response, error)) (*http.Response, error) {
 	for n := 0; ; n++ {
 		resp, err := attempt()
+		if err != nil {
+			// Transport failure: this server may be gone for good;
+			// the retry (if any) goes to the next one.
+			c.failover()
+		}
 		if n >= c.retries || !retriable(resp, err) {
 			return resp, err
 		}
@@ -166,7 +226,7 @@ func apiErr(resp *http.Response) error {
 
 func (c *client) getJSON(path string, out any) error {
 	resp, err := c.doRetry(func() (*http.Response, error) {
-		return c.http.Get(c.base + path)
+		return c.http.Get(c.base() + path)
 	})
 	if err != nil {
 		return err
@@ -185,7 +245,7 @@ func (c *client) submit(req service.SubmitRequest) (service.SubmitResponse, erro
 		return out, err
 	}
 	resp, err := c.doRetry(func() (*http.Response, error) {
-		return c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		return c.http.Post(c.base()+"/v1/jobs", "application/json", bytes.NewReader(body))
 	})
 	if err != nil {
 		return out, err
@@ -314,7 +374,7 @@ func cmdResult(c *client, args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("result needs exactly one job id")
 	}
-	resp, err := c.http.Get(c.base + "/v1/jobs/" + fs.Arg(0) + "/result?format=" + *format)
+	resp, err := c.http.Get(c.base() + "/v1/jobs/" + fs.Arg(0) + "/result?format=" + *format)
 	if err != nil {
 		return err
 	}
@@ -341,7 +401,7 @@ func cmdCancel(c *client, args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("cancel needs exactly one job id")
 	}
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+fs.Arg(0), nil)
+	req, err := http.NewRequest(http.MethodDelete, c.base()+"/v1/jobs/"+fs.Arg(0), nil)
 	if err != nil {
 		return err
 	}
@@ -369,5 +429,16 @@ func cmdStats(c *client, args []string) error {
 		return err
 	}
 	printJSON(st)
+	return nil
+}
+
+func cmdPeers(c *client, args []string) error {
+	fs := flag.NewFlagSet("peers", flag.ExitOnError)
+	fs.Parse(args)
+	var mr cluster.MembersResponse
+	if err := c.getJSON("/v1/cluster/members", &mr); err != nil {
+		return err
+	}
+	printJSON(mr)
 	return nil
 }

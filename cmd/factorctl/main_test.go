@@ -38,6 +38,68 @@ func TestBackoffHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+func TestRetryAfterDelayParsesBothForms(t *testing.T) {
+	now := time.Date(2026, 8, 7, 9, 30, 0, 0, time.UTC)
+	cases := []struct {
+		ra   string
+		want time.Duration
+		ok   bool
+	}{
+		{"2", 2 * time.Second, true},
+		{"0", 0, true},
+		{" 3 ", 3 * time.Second, true},
+		{"-1", 0, false},
+		{"", 0, false},
+		{"soon", 0, false},
+		// RFC 9110 HTTP-date: IMF-fixdate, then the obsolete RFC 850
+		// and ANSI C asctime forms http.ParseTime also accepts.
+		{"Fri, 07 Aug 2026 09:30:05 GMT", 5 * time.Second, true},
+		{"Friday, 07-Aug-26 09:31:00 GMT", time.Minute, true},
+		{"Fri Aug  7 09:30:30 2026", 30 * time.Second, true},
+		// A date in the past clamps to zero instead of failing.
+		{"Fri, 07 Aug 2026 09:29:00 GMT", 0, true},
+	}
+	for _, c := range cases {
+		got, ok := retryAfterDelay(c.ra, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("retryAfterDelay(%q) = (%v, %v), want (%v, %v)", c.ra, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestBackoffHonorsHTTPDateRetryAfter(t *testing.T) {
+	// A date ~2s out must beat the exponential schedule. The window
+	// tolerates the wall-clock skew between header construction and
+	// the backoff call.
+	resp := &http.Response{Header: http.Header{
+		"Retry-After": []string{time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)},
+	}}
+	d := backoff(0, resp)
+	if d < time.Second || d > 2*time.Second {
+		t.Fatalf("backoff with HTTP-date Retry-After: %v, want ~2s", d)
+	}
+}
+
+func TestFailoverRotatesOnTransportError(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"job-9","state":"QUEUED","key":"k"}`))
+	}))
+	defer ts.Close()
+	// First base is a dead listener; the client must rotate to the
+	// live one and succeed within its retry budget.
+	c := &client{bases: []string{"http://127.0.0.1:1", ts.URL}, retries: 2}
+	sub, err := c.submit(service.SubmitRequest{Circuit: ".model m\n.end\n"})
+	if err != nil {
+		t.Fatalf("submit with failover: %v", err)
+	}
+	if sub.ID != "job-9" || calls != 1 {
+		t.Fatalf("got id %q after %d live calls, want job-9 after 1", sub.ID, calls)
+	}
+}
+
 func TestBackoffGrowsAndCaps(t *testing.T) {
 	for n := 0; n < 12; n++ {
 		d := backoff(n, nil)
@@ -64,7 +126,7 @@ func TestSubmitRetriesUntilAdmitted(t *testing.T) {
 		w.Write([]byte(`{"id":"job-1","state":"QUEUED","key":"k"}`))
 	}))
 	defer ts.Close()
-	c := &client{base: ts.URL, retries: 4}
+	c := &client{bases: []string{ts.URL}, retries: 4}
 	sub, err := c.submit(service.SubmitRequest{Circuit: ".model m\n.end\n"})
 	if err != nil {
 		t.Fatalf("submit: %v", err)
@@ -83,7 +145,7 @@ func TestSubmitStopsWhenBudgetSpent(t *testing.T) {
 		w.Write([]byte(`{"error":"draining"}`))
 	}))
 	defer ts.Close()
-	c := &client{base: ts.URL, retries: 2}
+	c := &client{bases: []string{ts.URL}, retries: 2}
 	if _, err := c.submit(service.SubmitRequest{Circuit: "x"}); err == nil {
 		t.Fatal("submit against a draining server must fail after its retries")
 	}
@@ -100,7 +162,7 @@ func TestNonRetriableErrorIsImmediate(t *testing.T) {
 		w.Write([]byte(`{"error":"bad circuit"}`))
 	}))
 	defer ts.Close()
-	c := &client{base: ts.URL, retries: 4}
+	c := &client{bases: []string{ts.URL}, retries: 4}
 	if _, err := c.submit(service.SubmitRequest{Circuit: "x"}); err == nil {
 		t.Fatal("a 400 must fail immediately")
 	}

@@ -8,6 +8,13 @@
 //
 //	factord [-addr 127.0.0.1:8455] [-workers 4] [-queue 64] [-cache 256]
 //
+// With -cluster, the daemon becomes one node of a sharded cluster
+// (DESIGN.md §10): jobs are routed by consistent hashing to their
+// owning node, results replicate between peers, and membership is
+// maintained by heartbeats with suspicion timeouts:
+//
+//	factord -addr 127.0.0.1:8456 -cluster -node-id n2 -join 127.0.0.1:8455
+//
 // SIGINT/SIGTERM drains gracefully: new submissions get 503, queued
 // jobs are cancelled, in-flight jobs get -grace to finish.
 package main
@@ -20,9 +27,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/service"
 )
@@ -36,12 +45,26 @@ func main() {
 		deadline = flag.Duration("deadline", 60*time.Second, "default per-job deadline")
 		maxDl    = flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
 		grace    = flag.Duration("grace", 10*time.Second, "drain grace for in-flight jobs on shutdown")
+
+		clustered = flag.Bool("cluster", false, "run as a cluster node")
+		nodeID    = flag.String("node-id", "", "stable node identity on the ring (required with -cluster)")
+		advertise = flag.String("advertise", "", "address peers use to reach this node (default: -addr)")
+		join      = flag.String("join", "", "comma-separated seed addresses of existing members")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per member on the ring (0 = default)")
+		hbEvery   = flag.Duration("heartbeat-interval", 500*time.Millisecond, "membership probe period")
+		suspect   = flag.Duration("suspect-after", 2*time.Second, "silence before a peer turns suspect")
+		dead      = flag.Duration("dead-after", 10*time.Second, "silence before a suspect peer turns dead")
+		replEvery = flag.Duration("replicate-interval", 500*time.Millisecond, "result-cache replication period")
 	)
 	flag.Parse()
 	fault.InitFromEnv()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: factord [flags]\n")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *clustered && *nodeID == "" {
+		fmt.Fprintln(os.Stderr, "factord: -cluster requires -node-id")
 		os.Exit(2)
 	}
 
@@ -53,19 +76,55 @@ func main() {
 	cfg.MaxDeadline = *maxDl
 	cfg.DrainGrace = *grace
 
-	srv := service.NewServer(context.Background(), cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := service.NewServer(ctx, cfg)
+
+	handler := http.Handler(srv.Handler())
+	var node *cluster.Node
+	if *clustered {
+		peerAddr := *advertise
+		if peerAddr == "" {
+			peerAddr = *addr
+		}
+		var seeds []string
+		for _, s := range strings.Split(*join, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		node = cluster.New(ctx, cluster.Config{
+			NodeID:            *nodeID,
+			Addr:              peerAddr,
+			Seeds:             seeds,
+			VNodes:            *vnodes,
+			HeartbeatInterval: *hbEvery,
+			SuspectAfter:      *suspect,
+			DeadAfter:         *dead,
+			ReplicateInterval: *replEvery,
+		}, srv)
+		handler = node.Handler(srv.Handler())
+	}
 	srv.Start()
+	if node != nil {
+		node.Start()
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("factord: listening on %s (workers=%d queue=%d cache=%d)",
-		*addr, cfg.Workers, cfg.QueueCap, cfg.CacheCap)
+	if node != nil {
+		log.Printf("factord: node %s listening on %s (peer addr %s, seeds %q)",
+			*nodeID, *addr, *advertise, *join)
+	} else {
+		log.Printf("factord: listening on %s (workers=%d queue=%d cache=%d)",
+			*addr, cfg.Workers, cfg.QueueCap, cfg.CacheCap)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -73,10 +132,13 @@ func main() {
 	select {
 	case sig := <-sigc:
 		log.Printf("factord: %v: draining (grace %v)", sig, cfg.DrainGrace)
+		if node != nil {
+			node.Stop()
+		}
 		srv.Shutdown()
-		ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainGrace+5*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), cfg.DrainGrace+5*time.Second)
+		defer scancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
 			log.Printf("factord: http shutdown: %v", err)
 		}
 		log.Printf("factord: drained")

@@ -1,0 +1,120 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+// These tests exercise the cluster's network fault points and only run
+// in the chaos lane (-tags faultinject); in a default build the fault
+// runtime is compiled out.
+
+func TestForwardFaultFallsBackToLocalRun(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("needs -tags faultinject")
+	}
+	ids := []string{"n1", "n2", "n3"}
+	tc := startCluster(t, ids)
+	tc.waitConverged(5 * time.Second)
+
+	// Every forward attempt errors: the job must recover onto the
+	// accepting node's own queue and still finish.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointClusterForward: {Mode: fault.ModeError, Count: 1 << 20},
+	}})
+	t.Cleanup(fault.Reset)
+
+	spec, _ := specFor(t, ids, "n2")
+	sub := submitTo(t, tc.nodes["n1"], service.SubmitRequest{Format: "blif", Circuit: paperBLIF, Spec: spec})
+	st := waitTerminal(t, tc.nodes["n1"], sub.ID, 15*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("job under forward faults: %s (%s)", st.State, st.Error)
+	}
+	checkEquivalent(t, tc.nodes["n1"], sub.ID)
+	if rq := statsOf(t, tc.nodes["n1"]).Cluster.RemoteRequeues; rq < 1 {
+		t.Fatalf("remote_requeues = %d, want >= 1", rq)
+	}
+}
+
+func TestForwardPanicFaultDoesNotLoseJob(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("needs -tags faultinject")
+	}
+	ids := []string{"n1", "n2", "n3"}
+	tc := startCluster(t, ids)
+	tc.waitConverged(5 * time.Second)
+
+	// A panic inside the watcher is recovered by its Guard sink, which
+	// requeues — the accepted job must still reach DONE.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointClusterForward: {Mode: fault.ModePanic, Count: 1 << 20},
+	}})
+	t.Cleanup(fault.Reset)
+
+	spec, _ := specFor(t, ids, "n3")
+	sub := submitTo(t, tc.nodes["n1"], service.SubmitRequest{Format: "blif", Circuit: paperBLIF, Spec: spec})
+	st := waitTerminal(t, tc.nodes["n1"], sub.ID, 15*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("job under forward panics: %s (%s)", st.State, st.Error)
+	}
+	checkEquivalent(t, tc.nodes["n1"], sub.ID)
+}
+
+func TestReplicateFaultRetriesUntilDelivered(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("needs -tags faultinject")
+	}
+	ids := []string{"n1", "n2"}
+	tc := startCluster(t, ids)
+	tc.waitConverged(5 * time.Second)
+
+	// The first few replication pushes fail; the pending entry must
+	// survive and land on the peer in a later round.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointClusterReplicate: {Mode: fault.ModeError, Count: 3},
+	}})
+	t.Cleanup(fault.Reset)
+
+	spec, _ := specFor(t, ids, "n1")
+	sub := submitTo(t, tc.nodes["n1"], service.SubmitRequest{Format: "blif", Circuit: paperBLIF, Spec: spec})
+	st := waitTerminal(t, tc.nodes["n1"], sub.ID, 10*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("seed job: %s (%s)", st.State, st.Error)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for statsOf(t, tc.nodes["n2"]).Cluster.ReplicatedIn == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("entry never replicated to n2 despite retries")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if fault.Fired(fault.PointClusterReplicate) == 0 {
+		t.Fatal("replicate fault never fired; test exercised nothing")
+	}
+}
+
+func TestHeartbeatFaultDoesNotFalselyKillPeers(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("needs -tags faultinject")
+	}
+	ids := []string{"n1", "n2", "n3"}
+	tc := startCluster(t, ids)
+	tc.waitConverged(5 * time.Second)
+
+	// Drop a handful of probe rounds (every node shares the plan).
+	// The suspicion timeouts span several intervals, so scattered
+	// losses must not evict anyone, and views stay converged.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointClusterHeartbeat: {Mode: fault.ModeError, Count: 6},
+	}})
+	t.Cleanup(fault.Reset)
+
+	time.Sleep(500 * time.Millisecond)
+	tc.waitConverged(5 * time.Second)
+	if fault.Fired(fault.PointClusterHeartbeat) == 0 {
+		t.Fatal("heartbeat fault never fired; test exercised nothing")
+	}
+}

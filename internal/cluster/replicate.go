@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/blif"
+	"repro/internal/cluster/hlc"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+// runWire is the flattened core.RunResult carried with a replicated
+// cache entry, so a node serving a replicated hit reports the same
+// metrics as the node that computed it.
+type runWire struct {
+	Algorithm   string `json:"algorithm"`
+	LC          int    `json:"lc"`
+	Extracted   int    `json:"extracted"`
+	Calls       int    `json:"calls"`
+	VirtualTime int64  `json:"virtual_time"`
+	TotalWork   int64  `json:"total_work"`
+	WallMS      int64  `json:"wall_ms"`
+}
+
+// wireEntry is one cache entry on the wire: the factored network as
+// BLIF text plus the metrics and the origin's HLC stamp.
+type wireEntry struct {
+	Key      string        `json:"key"`
+	Stamp    hlc.Timestamp `json:"stamp"`
+	Name     string        `json:"name"`
+	Blif     string        `json:"blif"`
+	Run      runWire       `json:"run"`
+	Verified bool          `json:"verified"`
+}
+
+// toWire flattens a cache entry for transport; it fails only if the
+// network cannot be serialized (which would also break result
+// download, so it is effectively impossible for a published result).
+func toWire(key string, res *service.Result, ts hlc.Timestamp) (wireEntry, error) {
+	var buf bytes.Buffer
+	if err := blif.Write(&buf, res.Net); err != nil {
+		return wireEntry{}, err
+	}
+	return wireEntry{
+		Key:   key,
+		Stamp: ts,
+		Name:  res.Net.Name,
+		Blif:  buf.String(),
+		Run: runWire{
+			Algorithm:   res.Run.Algorithm,
+			LC:          res.Run.LC,
+			Extracted:   res.Run.Extracted,
+			Calls:       res.Run.Calls,
+			VirtualTime: res.Run.VirtualTime,
+			TotalWork:   res.Run.TotalWork,
+			WallMS:      res.Run.WallClock.Milliseconds(),
+		},
+		Verified: res.Verified,
+	}, nil
+}
+
+// fromWire reconstructs the cacheable Result from a replicated entry.
+func (we wireEntry) fromWire() (*service.Result, error) {
+	nw, err := blif.Read(bytes.NewReader([]byte(we.Blif)))
+	if err != nil {
+		return nil, err
+	}
+	return &service.Result{
+		Run: core.RunResult{
+			Algorithm:   we.Run.Algorithm,
+			LC:          we.Run.LC,
+			Extracted:   we.Run.Extracted,
+			Calls:       we.Run.Calls,
+			VirtualTime: we.Run.VirtualTime,
+			TotalWork:   we.Run.TotalWork,
+			WallClock:   time.Duration(we.Run.WallMS) * time.Millisecond,
+		},
+		Net:      nw,
+		Verified: we.Verified,
+	}, nil
+}
+
+// pendingEntry is a locally-written cache entry awaiting delivery.
+type pendingEntry struct {
+	wire wireEntry
+	// need is the set of peer ids still owed this entry, fixed at
+	// enqueue time from the then-alive peers. Peers that join later
+	// get the entry through handoff instead; peers that die before
+	// delivery are dropped from the set (their rejoin handoff
+	// re-syncs them).
+	need map[string]bool
+}
+
+// replicator pushes locally-computed cache entries to the alive peers
+// asynchronously: the cache's OnStore hook enqueues, a ticker loop
+// batches per peer and retries failed peers on the next round. An
+// entry leaves the pending set only when every owed peer has
+// acknowledged it.
+type replicator struct {
+	n        *Node
+	interval time.Duration
+
+	mu sync.Mutex
+	// pending is guarded by mu, keyed by cache key (a re-store of the
+	// same key supersedes the older pending version).
+	pending map[string]*pendingEntry
+}
+
+func newReplicator(n *Node) *replicator {
+	return &replicator{n: n, interval: n.cfg.ReplicateInterval, pending: map[string]*pendingEntry{}}
+}
+
+// enqueue is the cache OnStore hook. It runs outside the cache mutex.
+func (r *replicator) enqueue(key string, res *service.Result, ts hlc.Timestamp) {
+	peers := r.n.members.aliveIDs()
+	if len(peers) == 0 {
+		return
+	}
+	we, err := toWire(key, res, ts)
+	if err != nil {
+		return
+	}
+	need := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		need[p] = true
+	}
+	r.mu.Lock()
+	r.pending[key] = &pendingEntry{wire: we, need: need}
+	r.mu.Unlock()
+}
+
+// pendingCount reports the pending-entry backlog (stats).
+func (r *replicator) pendingCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// loop flushes the pending set every interval until ctx ends.
+func (r *replicator) loop(ctx context.Context) {
+	tick := time.NewTicker(r.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			// A panic inside one flush (an injected cluster.replicate
+			// fault) must not kill the loop for the process lifetime.
+			core.Guard("cluster", -1, nil, func() { r.flush(ctx) })
+		}
+	}
+}
+
+// flush pushes every pending entry to every owed, currently-alive
+// peer. Per-peer failures leave the entry pending for the next round.
+func (r *replicator) flush(ctx context.Context) {
+	batches := r.collectBatches()
+	peers := make([]string, 0, len(batches))
+	for id := range batches {
+		peers = append(peers, id)
+	}
+	sort.Strings(peers)
+	for _, id := range peers {
+		entries := batches[id]
+		addr, ok := r.n.members.addrOf(id)
+		if !ok {
+			continue
+		}
+		if err := fault.InjectErr(fault.PointClusterReplicate); err != nil {
+			continue
+		}
+		if err := r.n.postReplicate(ctx, addr, entries); err != nil {
+			continue
+		}
+		r.n.replicatedOut.Add(int64(len(entries)))
+		r.ack(id, entries)
+	}
+}
+
+// collectBatches snapshots the per-peer delivery batches under the
+// lock — the network work happens in flush, outside it. Entries owed
+// only to peers no longer alive are pruned here (a dead peer's rejoin
+// handoff re-syncs it).
+func (r *replicator) collectBatches() map[string][]wireEntry {
+	alive := map[string]bool{}
+	for _, id := range r.n.members.aliveIDs() {
+		alive[id] = true
+	}
+	batches := map[string][]wireEntry{}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key, pe := range r.pending {
+		for id := range pe.need {
+			if !alive[id] {
+				delete(pe.need, id)
+				continue
+			}
+			batches[id] = append(batches[id], pe.wire)
+		}
+		if len(pe.need) == 0 {
+			delete(r.pending, key)
+		}
+	}
+	return batches
+}
+
+// ack removes a delivered peer from each entry's owed set, dropping
+// entries that no longer owe anyone.
+func (r *replicator) ack(peer string, entries []wireEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, we := range entries {
+		pe, ok := r.pending[we.Key]
+		if !ok || pe.wire.Stamp != we.Stamp {
+			// Superseded by a newer store; the new version still owes
+			// this peer.
+			continue
+		}
+		delete(pe.need, peer)
+		if len(pe.need) == 0 {
+			delete(r.pending, we.Key)
+		}
+	}
+}
+
+// applyReplicated merges entries received from a peer into the local
+// cache, last-writer-wins.
+func (n *Node) applyReplicated(entries []wireEntry) {
+	cache := n.srv.Router().Cache()
+	for _, we := range entries {
+		res, err := we.fromWire()
+		if err != nil {
+			continue
+		}
+		n.clock.Observe(we.Stamp)
+		if cache.PutReplicated(we.Key, res, we.Stamp) {
+			n.replicatedIn.Add(1)
+		}
+	}
+}
+
+// handoffTo pushes the full local cache to a peer that was just seen
+// alive for the first time (join, rejoin after a partition, or
+// restart). Last-writer-wins on the receiving side makes the transfer
+// idempotent; at this cluster's scale a full sync is cheaper than
+// tracking per-peer deltas across failures.
+func (n *Node) handoffTo(m Member) {
+	go core.Guard("cluster", -1, nil, func() {
+		if err := fault.InjectErr(fault.PointClusterHandoff); err != nil {
+			return
+		}
+		snap := n.srv.Router().Cache().Snapshot()
+		if len(snap) == 0 {
+			return
+		}
+		entries := make([]wireEntry, 0, len(snap))
+		for _, sr := range snap {
+			if sr.Res.Degraded {
+				continue
+			}
+			we, err := toWire(sr.Key, sr.Res, sr.Stamp)
+			if err != nil {
+				continue
+			}
+			entries = append(entries, we)
+		}
+		if len(entries) == 0 {
+			return
+		}
+		if err := n.postReplicate(n.ctx, m.Addr, entries); err != nil {
+			return
+		}
+		n.handoffs.Add(1)
+	})
+}

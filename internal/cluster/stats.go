@@ -1,0 +1,47 @@
+package cluster
+
+import "time"
+
+// Stats is the cluster section of GET /v1/stats.
+type Stats struct {
+	NodeID string `json:"node_id"`
+	Addr   string `json:"addr"`
+	// Ring is the node ids currently routable, sorted — identical on
+	// every member once views converge.
+	Ring    []string       `json:"ring"`
+	Members []MemberStatus `json:"members"`
+
+	// Forwarded counts submissions proxied to an owning peer;
+	// RemoteRequeues counts forwarded jobs recovered onto the local
+	// queue after their owner became unreachable.
+	Forwarded      int64 `json:"forwarded"`
+	RemoteRequeues int64 `json:"remote_requeues"`
+
+	// ReplicatedOut/In count cache entries pushed to and applied from
+	// peers; ReplicationPending is the undelivered backlog.
+	ReplicatedOut      int64 `json:"replicated_out"`
+	ReplicatedIn       int64 `json:"replicated_in"`
+	ReplicationPending int   `json:"replication_pending"`
+	Handoffs           int64 `json:"handoffs"`
+
+	HeartbeatsSent    int64 `json:"heartbeats_sent"`
+	HeartbeatFailures int64 `json:"heartbeat_failures"`
+}
+
+// statsSnapshot assembles the cluster stats.
+func (n *Node) statsSnapshot() Stats {
+	return Stats{
+		NodeID:             n.cfg.NodeID,
+		Addr:               n.cfg.Addr,
+		Ring:               n.members.ringNodes(),
+		Members:            n.members.statusRows(time.Now()),
+		Forwarded:          n.forwarded.Load(),
+		RemoteRequeues:     n.remoteRequeues.Load(),
+		ReplicatedOut:      n.replicatedOut.Load(),
+		ReplicatedIn:       n.replicatedIn.Load(),
+		ReplicationPending: n.repl.pendingCount(),
+		Handoffs:           n.handoffs.Load(),
+		HeartbeatsSent:     n.heartbeatsSent.Load(),
+		HeartbeatFailures:  n.heartbeatFailures.Load(),
+	}
+}

@@ -120,6 +120,21 @@ const (
 	// readers, modeling transient upload/parse-path failures.
 	PointBlifRead = "blif.read"
 	PointEqnRead  = "eqn.read"
+
+	// PointClusterForward fires in the forwarding watcher before a job
+	// is proxied to its owning peer — an error here exercises the
+	// degraded-local requeue path.
+	PointClusterForward = "cluster.forward"
+	// PointClusterHeartbeat fires before each membership probe round,
+	// modeling a node whose failure detector stalls or whose probes
+	// are lost.
+	PointClusterHeartbeat = "cluster.heartbeat"
+	// PointClusterReplicate fires before a replication batch is pushed
+	// to one peer; the batch must survive to a later round.
+	PointClusterReplicate = "cluster.replicate"
+	// PointClusterHandoff fires before a cache handoff to a peer that
+	// (re)joined the ring.
+	PointClusterHandoff = "cluster.handoff"
 )
 
 // RegistryWithPrefix returns the registered fault points whose names

@@ -3,12 +3,20 @@ package service
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/cluster/hlc"
 )
 
 // Cache is a fixed-capacity LRU over completed results, keyed by
 // CanonicalKey. Identical resubmissions are served from here without
 // recomputation; the stored Result (including its network) is shared
 // and must never be mutated by readers.
+//
+// Each entry carries a hybrid-logical-clock stamp so replicas of the
+// cache on other cluster nodes can merge entries last-writer-wins:
+// local stores stamp with the installed clock and fire the OnStore
+// hook (the replication trigger); replicated stores arrive through
+// PutReplicated carrying the origin's stamp and apply only when newer.
 type Cache struct {
 	mu sync.Mutex
 	// entries is guarded by mu.
@@ -21,11 +29,16 @@ type Cache struct {
 	hits int64
 	// misses is guarded by mu.
 	misses int64
+	// clock is guarded by mu; nil on a single node (zero stamps).
+	clock *hlc.Clock
+	// onStore is guarded by mu; invoked outside it.
+	onStore func(key string, res *Result, ts hlc.Timestamp)
 }
 
 type cacheEntry struct {
-	key string
-	res *Result
+	key   string
+	res   *Result
+	stamp hlc.Timestamp
 }
 
 // NewCache returns an LRU cache holding up to capacity results; a
@@ -36,6 +49,23 @@ func NewCache(capacity int) *Cache {
 		order:    list.New(),
 		capacity: capacity,
 	}
+}
+
+// SetClock installs the HLC used to stamp local stores. Call before
+// serving starts.
+func (c *Cache) SetClock(clock *hlc.Clock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clock
+}
+
+// SetOnStore installs the hook fired after every local Put (not after
+// PutReplicated — replicated entries must not re-broadcast). The hook
+// runs outside the cache mutex; it may call back into the cache.
+func (c *Cache) SetOnStore(fn func(key string, res *Result, ts hlc.Timestamp)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onStore = fn
 }
 
 // Get returns the cached result for key and marks it recently used.
@@ -52,25 +82,105 @@ func (c *Cache) Get(key string) (*Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// Contains reports whether key is cached without touching the hit/miss
+// counters or the LRU order. The Router uses it to keep a job local
+// when a replicated result can already satisfy it.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // Put stores res under key, evicting the least recently used entry
-// when the cache is full.
+// when the cache is full, then fires the OnStore hook (if installed)
+// outside the lock.
 func (c *Cache) Put(key string, res *Result) {
+	hook, ts := c.putStamped(key, res)
+	if hook != nil {
+		hook(key, res, ts)
+	}
+}
+
+// putStamped performs the store under the mutex and returns the hook
+// to fire (nil when none installed or the store was a no-op). The hook
+// is invoked by the caller after the mutex is released so replication
+// can re-enter the cache without self-deadlock and without ordering
+// this mutex against any other component's.
+func (c *Cache) putStamped(key string, res *Result) (func(string, *Result, hlc.Timestamp), hlc.Timestamp) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.capacity <= 0 {
-		return
+		return nil, hlc.Timestamp{}
+	}
+	var ts hlc.Timestamp
+	if c.clock != nil {
+		ts = c.clock.Now()
 	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		ent := el.Value.(*cacheEntry)
+		ent.res = res
+		ent.stamp = ts
 		c.order.MoveToFront(el)
-		return
+		return c.onStore, ts
 	}
 	for c.order.Len() >= c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res, stamp: ts})
+	return c.onStore, ts
+}
+
+// PutReplicated merges an entry received from a peer, applying it only
+// when its stamp is newer than what is already stored (last-writer
+// wins; a zero local stamp always loses to a stamped remote). It does
+// not fire OnStore — replicated entries are never re-broadcast — and
+// reports whether the entry was applied.
+func (c *Cache) PutReplicated(key string, res *Result, ts hlc.Timestamp) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return false
+	}
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if !ent.stamp.Before(ts) {
+			return false
+		}
+		ent.res = res
+		ent.stamp = ts
+		c.order.MoveToFront(el)
+		return true
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res, stamp: ts})
+	return true
+}
+
+// StampedResult is one cache entry with its replication stamp.
+type StampedResult struct {
+	Key   string
+	Res   *Result
+	Stamp hlc.Timestamp
+}
+
+// Snapshot copies every entry out of the cache, most recently used
+// first. Handoff pushes a snapshot to a peer that (re)joined.
+func (c *Cache) Snapshot() []StampedResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StampedResult, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		out = append(out, StampedResult{Key: ent.key, Res: ent.res, Stamp: ent.stamp})
+	}
+	return out
 }
 
 // CacheStats is the cache section of GET /v1/stats.

@@ -175,6 +175,9 @@ type Job struct {
 	started time.Time
 	// finished is guarded by mu.
 	finished time.Time
+	// remoteNode is guarded by mu. Non-empty while the job runs on a
+	// peer (the cluster forwarding path) instead of the local pool.
+	remoteNode string
 }
 
 // newJob returns a QUEUED job; the caller supplies an already
@@ -262,15 +265,60 @@ func (j *Job) finish(state State, res *Result, cacheHit bool, errMsg string) {
 	j.cacheHit = cacheHit
 	j.errMsg = errMsg
 	j.cancel = nil
+	j.remoteNode = ""
 	j.finished = time.Now()
 }
 
-// wasCancelRequested reports whether a client asked to cancel the
-// job.
-func (j *Job) wasCancelRequested() bool {
+// CancelRequested reports whether a client asked to cancel the job.
+func (j *Job) CancelRequested() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.cancelRequested
+}
+
+// Network returns the parsed input network. The cluster forwarding
+// path serializes it to re-submit the job to its owning peer; callers
+// must treat it as read-only.
+func (j *Job) Network() *network.Network { return j.nw }
+
+// BeginRemote transitions QUEUED -> RUNNING for execution on a peer:
+// it records the owning node and installs the watcher context's cancel
+// function. It reports false (and does nothing) when the job was
+// cancelled while queued.
+func (j *Job) BeginRemote(node string, cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.remoteNode = node
+	j.started = time.Now()
+	return true
+}
+
+// FinishRemote records the terminal outcome mirrored back from the
+// owning peer.
+func (j *Job) FinishRemote(state State, res *Result, cacheHit bool, errMsg string) {
+	j.finish(state, res, cacheHit, errMsg)
+}
+
+// requeueLocal returns a remotely-RUNNING job to QUEUED so the local
+// pool can pick it up — the degraded path when its owner became
+// unreachable. It reports false when the job already reached a
+// terminal state (nothing to recover).
+func (j *Job) requeueLocal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return false
+	}
+	j.state = StateQueued
+	j.remoteNode = ""
+	j.cancel = nil
+	j.started = time.Time{}
+	return true
 }
 
 // Status is the wire representation of a job's state, returned by
@@ -282,6 +330,9 @@ type Status struct {
 	Spec     Spec   `json:"spec"`
 	Error    string `json:"error,omitempty"`
 	CacheHit bool   `json:"cache_hit"`
+	// RemoteNode names the peer currently executing the job, when the
+	// cluster layer forwarded it.
+	RemoteNode string `json:"remote_node,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -310,6 +361,7 @@ func (j *Job) Snapshot() Status {
 		Spec:        j.Spec,
 		Error:       j.errMsg,
 		CacheHit:    j.cacheHit,
+		RemoteNode:  j.remoteNode,
 		SubmittedAt: j.submitted,
 	}
 	if !j.started.IsZero() {

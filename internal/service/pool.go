@@ -240,7 +240,7 @@ func (p *Pool) runJob(j *Job) {
 	}
 
 	switch {
-	case run.Cancelled && j.wasCancelRequested():
+	case run.Cancelled && j.CancelRequested():
 		j.finish(StateCancelled, nil, false, "cancelled during extraction")
 	case run.Cancelled && ctx.Err() == context.DeadlineExceeded:
 		j.finish(StateFailed, nil, false, fmt.Sprintf("deadline of %v exceeded", p.deadlineFor(j)))

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -107,23 +106,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server owns the job table and wires the queue, pool and cache to
-// the HTTP API.
+// Server is the HTTP face of the service: it parses submissions,
+// delegates routing to the Router and execution to the Pool, and
+// serializes job state back to clients.
 type Server struct {
-	cfg   Config
-	queue *Queue
-	cache *Cache
-	pool  *Pool
+	cfg    Config
+	router *Router
+	pool   *Pool
 
 	draining atomic.Bool
 
-	mu sync.Mutex
-	// jobs is guarded by mu.
-	jobs map[string]*Job
-	// order is guarded by mu; submission order, for pruning.
-	order []string
-	// seq is guarded by mu.
-	seq int64
+	// clusterStats, when non-nil, contributes the cluster section of
+	// GET /v1/stats. Installed by the cluster layer before serving.
+	clusterStats func() any
 }
 
 // NewServer builds a server (pool not yet started). The pool and all
@@ -134,16 +129,22 @@ func NewServer(ctx context.Context, cfg Config) *Server {
 	q := NewQueue(cfg.QueueCap)
 	c := NewCache(cfg.CacheCap)
 	return &Server{
-		cfg:   cfg,
-		queue: q,
-		cache: c,
-		pool:  NewPool(ctx, cfg.Workers, q, c, cfg.DefaultDeadline, cfg.MaxDeadline),
-		jobs:  map[string]*Job{},
+		cfg:    cfg,
+		router: NewRouter(q, c, cfg.MaxJobs),
+		pool:   NewPool(ctx, cfg.Workers, q, c, cfg.DefaultDeadline, cfg.MaxDeadline),
 	}
 }
 
 // Pool exposes the worker pool (tests install the OnJobRunning hook).
 func (s *Server) Pool() *Pool { return s.pool }
+
+// Router exposes the routing half (the cluster layer installs its
+// RemoteRunner and reaches the cache through it).
+func (s *Server) Router() *Router { return s.router }
+
+// SetClusterStats installs the cluster stats contributor. Call before
+// serving starts.
+func (s *Server) SetClusterStats(fn func() any) { s.clusterStats = fn }
 
 // Start launches the worker pool.
 func (s *Server) Start() { s.pool.Start() }
@@ -191,6 +192,9 @@ type StatsResponse struct {
 		Cancelled int `json:"cancelled"`
 	} `json:"jobs"`
 	Draining bool `json:"draining"`
+	// Cluster is the cluster layer's section (membership, ring,
+	// forwarding and replication counters); absent on a single node.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 type apiError struct {
@@ -277,14 +281,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	deadline := time.Duration(spec.DeadlineMS) * time.Millisecond
 	key := CanonicalKey(nw, spec)
-	j := s.register(name, spec, key, nw, deadline)
+	j := s.router.Register(name, spec, key, nw, deadline)
 
-	if err := s.queue.Push(j); err != nil {
-		s.unregister(j.ID)
+	forwarded := r.Header.Get(ForwardedHeader) != ""
+	if err := s.router.Dispatch(j, forwarded); err != nil {
+		s.router.Unregister(j.ID)
 		switch err {
 		case ErrQueueFull:
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
-			writeErr(w, http.StatusTooManyRequests, "queue full (depth %d); retry later", s.queue.Capacity())
+			writeErr(w, http.StatusTooManyRequests, "queue full (depth %d); retry later", s.router.Queue().Capacity())
 		default:
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		}
@@ -293,84 +298,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.ID, State: j.State(), Key: key})
 }
 
-// register allocates an id, stores the job in the table, and prunes
-// old finished jobs past the retention bound.
-func (s *Server) register(name string, spec Spec, key string, nw *network.Network, deadline time.Duration) *Job {
-	j, over := s.add(name, spec, key, nw, deadline)
-	if over {
-		s.prune()
-	}
-	return j
-}
-
-// add stores a fresh job in the table and reports whether the table
-// has grown past the retention bound.
-func (s *Server) add(name string, spec Spec, key string, nw *network.Network, deadline time.Duration) (*Job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.seq++
-	id := fmt.Sprintf("job-%d", s.seq)
-	j := newJob(id, name, spec, key, nw, deadline)
-	s.jobs[id] = j
-	s.order = append(s.order, id)
-	return j, len(s.jobs) > s.cfg.MaxJobs
-}
-
-// prune drops the oldest terminal jobs while the table exceeds
-// MaxJobs. Job states are read before taking the table lock —
-// server.mu is never held across a job.mu acquisition — so a job
-// finishing concurrently can survive until the next prune.
-func (s *Server) prune() {
-	terminal := map[string]bool{}
-	for _, j := range s.snapshotJobs() {
-		if j.State().Terminal() {
-			terminal[j.ID] = true
-		}
-	}
-	s.dropOldest(terminal)
-}
-
-// dropOldest deletes the oldest jobs in droppable while the table
-// exceeds MaxJobs.
-func (s *Server) dropOldest(droppable map[string]bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	kept := s.order[:0]
-	for _, id := range s.order {
-		if _, ok := s.jobs[id]; !ok {
-			continue
-		}
-		if len(s.jobs) > s.cfg.MaxJobs && droppable[id] {
-			delete(s.jobs, id)
-			continue
-		}
-		kept = append(kept, id)
-	}
-	s.order = kept
-}
-
-func (s *Server) unregister(id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.jobs, id)
-	for i, v := range s.order {
-		if v == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
-}
-
-// job looks up a job by id.
-func (s *Server) job(id string) (*Job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
-}
-
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(r.PathValue("id"))
+	j, ok := s.router.Job(r.PathValue("id"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no such job")
 		return
@@ -379,7 +308,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(r.PathValue("id"))
+	j, ok := s.router.Job(r.PathValue("id"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no such job")
 		return
@@ -389,7 +318,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(r.PathValue("id"))
+	j, ok := s.router.Job(r.PathValue("id"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no such job")
 		return
@@ -422,12 +351,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // Stats assembles the full stats snapshot.
 func (s *Server) Stats() StatsResponse {
 	var resp StatsResponse
-	resp.Queue.Depth = s.queue.Len()
-	resp.Queue.Capacity = s.queue.Capacity()
-	resp.Cache = s.cache.Stats()
+	resp.Queue.Depth = s.router.Queue().Len()
+	resp.Queue.Capacity = s.router.Queue().Capacity()
+	resp.Cache = s.router.Cache().Stats()
 	resp.Pool = s.pool.Stats()
 	resp.Draining = s.draining.Load()
-	for _, j := range s.snapshotJobs() {
+	for _, j := range s.router.SnapshotJobs() {
 		switch j.State() {
 		case StateQueued:
 			resp.Jobs.Queued++
@@ -441,18 +370,8 @@ func (s *Server) Stats() StatsResponse {
 			resp.Jobs.Cancelled++
 		}
 	}
-	return resp
-}
-
-// snapshotJobs copies the job table out from under the lock.
-func (s *Server) snapshotJobs() []*Job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*Job, 0, len(s.jobs))
-	for _, id := range s.order {
-		if j, ok := s.jobs[id]; ok {
-			out = append(out, j)
-		}
+	if s.clusterStats != nil {
+		resp.Cluster = s.clusterStats()
 	}
-	return out
+	return resp
 }

@@ -1,0 +1,147 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+// A crash-recovery driver that loses a worker shrinks the barrier
+// participant count for the next round — but the surviving workers may
+// already be blocked at the current barrier when it does. The shrink
+// must release a barrier it newly satisfies, not leave the survivors
+// waiting for an arrival that will never come.
+func TestSetParticipantsReleasesBlockedBarrier(t *testing.T) {
+	m := NewMachine(3, DefaultModel())
+	done := make(chan bool, 2)
+	for w := 0; w < 2; w++ {
+		go func(w int) { done <- m.Barrier(w) }(w)
+	}
+	// Both survivors must be blocked (participants is still 3) before
+	// the shrink.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never queued up at the barrier")
+		}
+		m.barMu.Lock()
+		n := m.barCount
+		m.barMu.Unlock()
+		if n == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case ok := <-done:
+		t.Fatalf("Barrier returned %v before the shrink; expected both workers blocked", ok)
+	default:
+	}
+
+	m.SetParticipants(2)
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-done:
+			if !ok {
+				t.Fatal("Barrier returned false after shrink; want a clean release")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker still blocked at barrier after SetParticipants shrank below the blocked count")
+		}
+	}
+	if got := m.Barriers(); got != 1 {
+		t.Fatalf("barriers completed = %d, want 1", got)
+	}
+
+	// The next round must run at the reduced count: two arrivals
+	// release without a third.
+	for w := 0; w < 2; w++ {
+		go func(w int) { done <- m.Barrier(w) }(w)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-done:
+			if !ok {
+				t.Fatal("post-shrink Barrier returned false")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("post-shrink barrier never released at the reduced count")
+		}
+	}
+}
+
+// Shrinking past more arrivals than the new count (three blocked,
+// shrink to one) must still release everyone exactly once.
+func TestSetParticipantsShrinkBelowArrivals(t *testing.T) {
+	m := NewMachine(4, DefaultModel())
+	done := make(chan bool, 3)
+	for w := 0; w < 3; w++ {
+		go func(w int) { done <- m.Barrier(w) }(w)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never queued up at the barrier")
+		}
+		m.barMu.Lock()
+		n := m.barCount
+		m.barMu.Unlock()
+		if n == 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	m.SetParticipants(1)
+	for i := 0; i < 3; i++ {
+		select {
+		case ok := <-done:
+			if !ok {
+				t.Fatal("Barrier returned false after shrink to 1")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker still blocked after shrink to 1")
+		}
+	}
+	if got := m.Barriers(); got != 1 {
+		t.Fatalf("barriers completed = %d, want 1 (one release covering all waiters)", got)
+	}
+}
+
+// A shrink that does not satisfy the barrier (three participants, one
+// arrival, shrink to two) must leave the waiter blocked until the
+// second arrival.
+func TestSetParticipantsAboveArrivalsKeepsWaiting(t *testing.T) {
+	m := NewMachine(3, DefaultModel())
+	done := make(chan bool, 2)
+	go func() { done <- m.Barrier(0) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never queued up at the barrier")
+		}
+		m.barMu.Lock()
+		n := m.barCount
+		m.barMu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.SetParticipants(2)
+	select {
+	case ok := <-done:
+		t.Fatalf("Barrier returned %v with one arrival of two required", ok)
+	case <-time.After(50 * time.Millisecond):
+	}
+	go func() { done <- m.Barrier(1) }()
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-done:
+			if !ok {
+				t.Fatal("Barrier returned false")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("barrier never released after the second arrival")
+		}
+	}
+}

@@ -175,8 +175,11 @@ func (mc *Machine) ChargeLock(w int) {
 }
 
 // SetParticipants shrinks (or restores) the number of workers each
-// barrier waits for. Call only while no worker is between barriers —
-// drivers use it after wg.Wait, before relaunching a reduced round.
+// barrier waits for. Drivers normally call it between rounds (after
+// wg.Wait), but shrinking below the number of workers already blocked
+// at the current barrier is also safe: the barrier that became
+// satisfied by the lower count releases immediately, instead of
+// waiting for arrivals that will never come.
 func (mc *Machine) SetParticipants(n int) {
 	mc.barMu.Lock()
 	defer mc.barMu.Unlock()
@@ -187,6 +190,9 @@ func (mc *Machine) SetParticipants(n int) {
 		n = len(mc.clocks)
 	}
 	mc.participants = n
+	if !mc.aborted && mc.barCount >= mc.participants && mc.barCount > 0 {
+		mc.releaseLocked()
+	}
 }
 
 // SetBarrierDeadline arms the straggler detector: if a barrier's
@@ -282,26 +288,8 @@ func (mc *Machine) Barrier(w int) bool {
 	gen := mc.barGen
 	mc.barCount++
 	mc.arrived[w] = true
-	if mc.barCount == mc.participants {
-		// Last arrival: level participating clocks to max + overhead.
-		if mc.barTimer != nil {
-			mc.barTimer.Stop()
-			mc.barTimer = nil
-		}
-		max := int64(0)
-		for i := 0; i < mc.participants; i++ {
-			if c := atomic.LoadInt64(&mc.clocks[i]); c > max {
-				max = c
-			}
-		}
-		for i := 0; i < mc.participants; i++ {
-			atomic.StoreInt64(&mc.clocks[i], max+mc.model.Barrier)
-		}
-		mc.barriers++
-		mc.barCount = 0
-		mc.barGen++
-		mc.arrived = map[int]bool{}
-		mc.barCond.Broadcast()
+	if mc.barCount >= mc.participants {
+		mc.releaseLocked()
 		mc.barMu.Unlock()
 		return true
 	}
@@ -315,6 +303,33 @@ func (mc *Machine) Barrier(w int) bool {
 	ok := gen != mc.barGen
 	mc.barMu.Unlock()
 	return ok
+}
+
+// releaseLocked completes the current barrier: participating clocks
+// level to max + overhead, the generation advances, and every waiter
+// wakes. Called by the satisfying arrival, or by SetParticipants when
+// shrinking the count satisfies a barrier already in progress.
+//
+//repolint:requires barMu
+func (mc *Machine) releaseLocked() {
+	if mc.barTimer != nil {
+		mc.barTimer.Stop()
+		mc.barTimer = nil
+	}
+	max := int64(0)
+	for i := 0; i < mc.participants; i++ {
+		if c := atomic.LoadInt64(&mc.clocks[i]); c > max {
+			max = c
+		}
+	}
+	for i := 0; i < mc.participants; i++ {
+		atomic.StoreInt64(&mc.clocks[i], max+mc.model.Barrier)
+	}
+	mc.barriers++
+	mc.barCount = 0
+	mc.barGen++
+	mc.arrived = map[int]bool{}
+	mc.barCond.Broadcast()
 }
 
 // deadlineAbort fires when a barrier generation outlived the

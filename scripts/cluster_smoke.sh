@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the sharded cluster: build factord and
+# factorctl, start a 3-node cluster, wait for membership to converge,
+# submit through one node and diff the result against a direct
+# cmd/factor run, check the result cache replicates to a peer, then
+# kill a node and verify the survivors keep serving. Node logs land in
+# cluster-data.N/ (gitignored) to aid post-mortems when a step fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    for p in "${pids[@]:-}"; do
+        [ -n "$p" ] && wait "$p" 2>/dev/null || true
+    done
+    rm -rf "$tmp" cluster-data.1 cluster-data.2 cluster-data.3
+}
+trap cleanup EXIT
+
+go build -o "$tmp/factord" ./cmd/factord
+go build -o "$tmp/factorctl" ./cmd/factorctl
+go build -o "$tmp/factor" ./cmd/factor
+
+a1=127.0.0.1:8581
+a2=127.0.0.1:8582
+a3=127.0.0.1:8583
+common=(-workers 2 -cluster
+        -heartbeat-interval 100ms -suspect-after 500ms -dead-after 2s
+        -replicate-interval 100ms)
+
+mkdir -p cluster-data.1 cluster-data.2 cluster-data.3
+"$tmp/factord" -addr "$a1" -node-id n1 "${common[@]}" \
+    >cluster-data.1/factord.log 2>&1 &
+pids[0]=$!
+"$tmp/factord" -addr "$a2" -node-id n2 -join "$a1" "${common[@]}" \
+    >cluster-data.2/factord.log 2>&1 &
+pids[1]=$!
+"$tmp/factord" -addr "$a3" -node-id n3 -join "$a1" "${common[@]}" \
+    >cluster-data.3/factord.log 2>&1 &
+pids[2]=$!
+
+echo "== waiting for 3-node convergence"
+converged=0
+for _ in $(seq 1 100); do
+    if "$tmp/factorctl" -addr "http://$a1" peers 2>/dev/null \
+            | grep -c '"state": "alive"' | grep -q '^3$'; then
+        converged=1; break
+    fi
+    sleep 0.2
+done
+[ "$converged" = 1 ] || { echo "cluster never converged" >&2; exit 1; }
+
+circuit=examples/circuits/paper.eqn
+
+echo "== direct run"
+"$tmp/factor" -in "$circuit" -format eqn -baseline=false -o "$tmp/direct.eqn"
+
+echo "== submit through n2 (any node accepts; routing is the cluster's job)"
+"$tmp/factorctl" -addr "http://$a2" submit -algo seq -format eqn -wait "$circuit" \
+    > "$tmp/status1.json"
+grep -q '"state": "DONE"' "$tmp/status1.json"
+id=$(sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' "$tmp/status1.json" | head -1)
+"$tmp/factorctl" -addr "http://$a2" result -format eqn -o "$tmp/cluster.eqn" "$id"
+
+echo "== diff cluster vs direct"
+diff -u "$tmp/direct.eqn" "$tmp/cluster.eqn"
+
+echo "== replicated cache hit via n3"
+hit=0
+for _ in $(seq 1 50); do
+    "$tmp/factorctl" -addr "http://$a3" submit -algo seq -format eqn -wait "$circuit" \
+        > "$tmp/status2.json" || true
+    if grep -q '"cache_hit": true' "$tmp/status2.json"; then hit=1; break; fi
+    sleep 0.2
+done
+[ "$hit" = 1 ] || { echo "cache entry never replicated to a peer" >&2; exit 1; }
+
+echo "== kill n3; survivors keep serving (client fails over)"
+kill -TERM "${pids[2]}"
+wait "${pids[2]}" 2>/dev/null || true
+pids[2]=""
+"$tmp/factorctl" -addr "http://$a3,http://$a1" submit -algo seq -format eqn -wait "$circuit" \
+    > "$tmp/status3.json"
+grep -q '"state": "DONE"' "$tmp/status3.json"
+
+echo "== graceful drain"
+kill -TERM "${pids[0]}" "${pids[1]}"
+wait "${pids[0]}" 2>/dev/null || true
+wait "${pids[1]}" 2>/dev/null || true
+pids=()
+
+echo "cluster smoke test passed"
