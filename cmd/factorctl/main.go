@@ -4,9 +4,9 @@
 //
 //	factorctl [-addr URL] [-retries N] submit [-algo seq|repl|part|lshape]
 //	          [-p N] [-format blif|eqn] [-name NAME] [-deadline-ms N]
-//	          [-verify] [-wait] [-interval D] FILE
+//	          [-verify] [-wait] [-interval D] [-timeout D] FILE
 //	factorctl [-addr URL] [-retries N] status JOB
-//	factorctl [-addr URL] [-retries N] wait [-interval D] JOB
+//	factorctl [-addr URL] [-retries N] wait [-interval D] [-timeout D] JOB
 //	factorctl [-addr URL] result [-format blif|eqn] [-o FILE] JOB
 //	factorctl [-addr URL] cancel JOB
 //	factorctl [-addr URL] [-retries N] stats
@@ -22,6 +22,10 @@
 // transport errors with jittered exponential backoff, honoring the
 // server's Retry-After header — both delta-seconds and HTTP-date
 // forms — when present; -retries 0 disables.
+//
+// wait (and submit -wait) polls forever by default; -timeout bounds
+// the overall wait, printing the last observed status and exiting
+// non-zero on expiry.
 package main
 
 import (
@@ -266,15 +270,54 @@ func (c *client) status(id string) (service.Status, error) {
 	return st, err
 }
 
-// waitTerminal polls until the job reaches a terminal state.
-func (c *client) waitTerminal(id string, interval time.Duration) (service.Status, error) {
+// waitTimeoutError reports that -timeout expired before the job
+// reached a terminal state; it carries the last observed status so the
+// caller can still print it before exiting non-zero.
+type waitTimeoutError struct {
+	st      service.Status
+	timeout time.Duration
+}
+
+func (e *waitTimeoutError) Error() string {
+	return fmt.Sprintf("job %s still %s after %v", e.st.ID, e.st.State, e.timeout)
+}
+
+// waitTerminal polls until the job reaches a terminal state or, with
+// timeout > 0, the overall bound expires (returning *waitTimeoutError
+// with the last observed status).
+func (c *client) waitTerminal(id string, interval, timeout time.Duration) (service.Status, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	for {
 		st, err := c.status(id)
 		if err != nil || st.State.Terminal() {
 			return st, err
 		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return st, &waitTimeoutError{st: st, timeout: timeout}
+		}
 		time.Sleep(interval)
 	}
+}
+
+// finishWait renders waitTerminal's outcome: the final (or last
+// observed) status on stdout, and a non-nil error — timeout or a
+// non-DONE terminal state — for a non-zero exit.
+func finishWait(st service.Status, err error) error {
+	if wte, ok := err.(*waitTimeoutError); ok {
+		printJSON(wte.st)
+		return wte
+	}
+	if err != nil {
+		return err
+	}
+	printJSON(st)
+	if st.State != service.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	return nil
 }
 
 func printJSON(v any) {
@@ -294,6 +337,7 @@ func cmdSubmit(c *client, args []string) error {
 		verify     = fs.Bool("verify", false, "request a post-run equivalence check")
 		wait       = fs.Bool("wait", false, "poll until the job finishes and print its final status")
 		interval   = fs.Duration("interval", 200*time.Millisecond, "poll interval with -wait")
+		timeout    = fs.Duration("timeout", 0, "overall bound on -wait (0: wait forever)")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -323,15 +367,7 @@ func cmdSubmit(c *client, args []string) error {
 		printJSON(sub)
 		return nil
 	}
-	st, err := c.waitTerminal(sub.ID, *interval)
-	if err != nil {
-		return err
-	}
-	printJSON(st)
-	if st.State != service.StateDone {
-		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
-	}
-	return nil
+	return finishWait(c.waitTerminal(sub.ID, *interval, *timeout))
 }
 
 func cmdStatus(c *client, args []string) error {
@@ -351,19 +387,12 @@ func cmdStatus(c *client, args []string) error {
 func cmdWait(c *client, args []string) error {
 	fs := flag.NewFlagSet("wait", flag.ExitOnError)
 	interval := fs.Duration("interval", 200*time.Millisecond, "poll interval")
+	timeout := fs.Duration("timeout", 0, "overall bound on the wait (0: wait forever)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("wait needs exactly one job id")
 	}
-	st, err := c.waitTerminal(fs.Arg(0), *interval)
-	if err != nil {
-		return err
-	}
-	printJSON(st)
-	if st.State != service.StateDone {
-		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
-	}
-	return nil
+	return finishWait(c.waitTerminal(fs.Arg(0), *interval, *timeout))
 }
 
 func cmdResult(c *client, args []string) error {

@@ -154,6 +154,56 @@ func TestSubmitStopsWhenBudgetSpent(t *testing.T) {
 	}
 }
 
+func TestWaitTimeoutReturnsLastStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"id":"job-7","state":"RUNNING"}`))
+	}))
+	defer ts.Close()
+	c := &client{bases: []string{ts.URL}}
+	start := time.Now()
+	st, err := c.waitTerminal("job-7", 5*time.Millisecond, 50*time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wait did not respect its bound (took %v)", elapsed)
+	}
+	wte, ok := err.(*waitTimeoutError)
+	if !ok {
+		t.Fatalf("err = %v, want *waitTimeoutError", err)
+	}
+	if wte.st.State != service.StateRunning || st.State != service.StateRunning {
+		t.Fatalf("last observed state = %s/%s, want RUNNING", wte.st.State, st.State)
+	}
+	// finishWait must propagate the timeout as a failure for the
+	// non-zero exit.
+	if err := finishWait(st, wte); err != wte {
+		t.Fatalf("finishWait(timeout) = %v, want the timeout error", err)
+	}
+}
+
+func TestWaitWithoutTimeoutStopsAtTerminal(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls < 3 {
+			w.Write([]byte(`{"id":"job-8","state":"QUEUED"}`))
+			return
+		}
+		w.Write([]byte(`{"id":"job-8","state":"DONE"}`))
+	}))
+	defer ts.Close()
+	c := &client{bases: []string{ts.URL}}
+	st, err := c.waitTerminal("job-8", time.Millisecond, 0)
+	if err != nil || st.State != service.StateDone {
+		t.Fatalf("waitTerminal = (%s, %v), want DONE", st.State, err)
+	}
+	if err := finishWait(st, nil); err != nil {
+		t.Fatalf("finishWait(DONE) = %v, want nil", err)
+	}
+	// A terminal non-DONE state is still an error exit.
+	if err := finishWait(service.Status{ID: "job-8", State: service.StateFailed}, nil); err == nil {
+		t.Fatal("finishWait(FAILED) must return an error")
+	}
+}
+
 func TestNonRetriableErrorIsImmediate(t *testing.T) {
 	var calls int
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/durable"
 	"repro/internal/fault"
 	"repro/internal/service"
 )
@@ -45,6 +46,10 @@ func main() {
 		deadline = flag.Duration("deadline", 60*time.Second, "default per-job deadline")
 		maxDl    = flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
 		grace    = flag.Duration("grace", 10*time.Second, "drain grace for in-flight jobs on shutdown")
+
+		dataDir  = flag.String("data-dir", "", "durable data directory; enables the job journal and crash recovery")
+		fsync    = flag.String("fsync", "always", "journal fsync policy: always, never, or an interval like 100ms")
+		snapshot = flag.Duration("snapshot-interval", 30*time.Second, "period between full-state snapshots (journal rotation)")
 
 		clustered = flag.Bool("cluster", false, "run as a cluster node")
 		nodeID    = flag.String("node-id", "", "stable node identity on the ring (required with -cluster)")
@@ -75,10 +80,30 @@ func main() {
 	cfg.DefaultDeadline = *deadline
 	cfg.MaxDeadline = *maxDl
 	cfg.DrainGrace = *grace
+	cfg.DataDir = *dataDir
+	cfg.SnapshotInterval = *snapshot
+	if pol, err := durable.ParsePolicy(*fsync); err != nil {
+		fmt.Fprintf(os.Stderr, "factord: -fsync: %v\n", err)
+		os.Exit(2)
+	} else {
+		cfg.Fsync = pol
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	srv := service.NewServer(ctx, cfg)
+
+	// Recovery runs before the listener opens and before the cluster
+	// layer attaches: recovered jobs re-enter the queue unobserved, and
+	// a rejoining node's recovered cache rides the normal handoff path.
+	if rec, err := srv.OpenDurable(); err != nil {
+		log.Fatalf("factord: %v", err)
+	} else if *dataDir != "" {
+		log.Printf("factord: recovered %d jobs (%d requeued), %d cache entries from %s"+
+			" (truncated %dB, skipped %d snapshots, %d bad records)",
+			rec.Jobs, rec.Requeued, rec.CacheEntries, *dataDir,
+			rec.TruncatedBytes, rec.SkippedSnapshots, rec.BadRecords)
+	}
 
 	handler := http.Handler(srv.Handler())
 	var node *cluster.Node

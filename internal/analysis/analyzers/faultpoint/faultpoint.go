@@ -196,14 +196,15 @@ func collectPoints(pkg *analysis.Package) []point {
 	return out
 }
 
-// isInjectCall reports whether call targets fault.Inject or
-// fault.InjectErr.
+// isInjectCall reports whether call targets fault.Inject,
+// fault.InjectErr or fault.InjectWrite (the disk-write variant that
+// can also corrupt the buffer in flight).
 func isInjectCall(pkg *analysis.Package, call *ast.CallExpr) bool {
 	fn := calleeFunc(pkg, call)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "fault" {
 		return false
 	}
-	return fn.Name() == "Inject" || fn.Name() == "InjectErr"
+	return fn.Name() == "Inject" || fn.Name() == "InjectErr" || fn.Name() == "InjectWrite"
 }
 
 // isGuardCall reports whether call targets core.Guard (any package

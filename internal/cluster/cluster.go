@@ -145,6 +145,14 @@ func New(ctx context.Context, cfg Config, srv *service.Server) *Node {
 	}, cfg.SuspectAfter, cfg.DeadAfter, cfg.VNodes)
 	n.repl = newReplicator(n)
 	cache := srv.Router().Cache()
+	// A restarted node arrives here with its crash-recovered cache
+	// already populated (Server.OpenDurable runs first). Fold the
+	// recovered stamps into the fresh clock so every stamp issued from
+	// now on orders after them — without this, a recovered entry could
+	// win last-writer-wins against a genuinely newer local result.
+	for _, ent := range cache.Snapshot() {
+		n.clock.Observe(ent.Stamp)
+	}
 	cache.SetClock(n.clock)
 	cache.SetOnStore(n.repl.enqueue)
 	n.members.onAlive = n.handoffTo

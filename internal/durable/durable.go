@@ -1,0 +1,82 @@
+// Package durable is the crash-durability layer under the
+// factorization service: a CRC-framed write-ahead journal of opaque
+// records plus generation-numbered atomic snapshots, stored together
+// in one data directory.
+//
+// The contract is the one the service's "no accepted job is ever
+// lost" guarantee needs across a process death:
+//
+//   - Append frames a record ([length][crc32c][payload]) and writes it
+//     to the current journal under the configured fsync policy, so a
+//     record the caller saw succeed is on its way to stable storage
+//     (and there already, under PolicyAlways).
+//   - Snapshot persists a full-state image with write-temp + rename +
+//     directory sync, then rotates to a fresh journal generation; the
+//     journal never grows without bound and an interrupted snapshot
+//     can never damage the previous one.
+//   - Open replays the newest loadable snapshot plus every journal
+//     generation at or after it, in order. A torn or short-written
+//     journal tail — exactly what a crash mid-Append leaves — is
+//     detected by CRC/length validation, reported, and truncated away
+//     so later appends reuse a clean tail instead of poisoning replay.
+//
+// Records are opaque []byte at this layer; the service encodes its
+// job-lifecycle events and cache entries on top (service/persist.go).
+//
+// Fault points durable.append, durable.fsync, durable.snapshot and
+// durable.replay (with the torn/short corruption modes of
+// fault.InjectWrite) let the chaos and restart harnesses drive every
+// failure this package claims to survive.
+package durable
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy says when journal appends reach stable storage.
+type Policy struct {
+	// Mode is "always", "interval" or "never".
+	Mode string
+	// Interval bounds the sync lag in interval mode: an append syncs
+	// when at least this much time has passed since the last sync.
+	Interval time.Duration
+}
+
+// Predefined policies. PolicyAlways fsyncs every append (the strict
+// setting the restart harness runs under); PolicyNever leaves syncing
+// to the OS — SIGKILL-safe (the page cache survives the process) but
+// not power-loss-safe.
+var (
+	PolicyAlways = Policy{Mode: "always"}
+	PolicyNever  = Policy{Mode: "never"}
+)
+
+// PolicyEvery syncs at most once per d, piggybacked on appends.
+func PolicyEvery(d time.Duration) Policy {
+	return Policy{Mode: "interval", Interval: d}
+}
+
+// ParsePolicy reads the -fsync flag forms: "always", "never", or a
+// Go duration ("100ms") selecting interval mode.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always", "":
+		return PolicyAlways, nil
+	case "never":
+		return PolicyNever, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return Policy{}, fmt.Errorf("durable: fsync policy %q is not always, never, or a positive duration", s)
+	}
+	return PolicyEvery(d), nil
+}
+
+// String renders the policy in the same forms ParsePolicy accepts.
+func (p Policy) String() string {
+	if p.Mode == "interval" {
+		return p.Interval.String()
+	}
+	return p.Mode
+}

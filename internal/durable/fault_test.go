@@ -1,0 +1,116 @@
+//go:build faultinject
+
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// Error-mode injection at the append and fsync points must surface as
+// append errors without wedging the store: the next append succeeds.
+func TestInjectedAppendAndFsyncErrors(t *testing.T) {
+	defer fault.Reset()
+	for _, point := range []string{fault.PointDurableAppend, fault.PointDurableFsync} {
+		dir := t.TempDir()
+		fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+			point: {Mode: fault.ModeError, After: 2, Count: 1},
+		}})
+		s, _ := mustOpen(t, dir, PolicyAlways)
+		appendAll(t, s, "first")
+		if err := s.Append([]byte("second")); err == nil || !strings.Contains(err.Error(), point) {
+			t.Fatalf("%s: append error = %v, want injected", point, err)
+		}
+		appendAll(t, s, "third")
+		s.Close()
+		_, rec := mustOpen(t, dir, PolicyAlways)
+		// The fsync fault still wrote the record (only the sync
+		// failed); the append fault dropped it before the write.
+		got := asStrings(rec.Journal)
+		if got[0] != "first" || got[len(got)-1] != "third" {
+			t.Fatalf("%s: recovered %q", point, got)
+		}
+		fault.Reset()
+	}
+}
+
+// An injected snapshot failure must leave the previous snapshot and
+// journal generation fully usable.
+func TestInjectedSnapshotErrorKeepsPreviousGeneration(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, PolicyAlways)
+	appendAll(t, s, "a")
+	if err := s.Snapshot([][]byte{[]byte("good-snap")}); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "b")
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointDurableSnapshot: {Mode: fault.ModeError},
+	}})
+	if err := s.Snapshot([][]byte{[]byte("never-lands")}); err == nil {
+		t.Fatal("snapshot did not surface the injected error")
+	}
+	fault.Reset()
+	appendAll(t, s, "c")
+	s.Close()
+	_, rec := mustOpen(t, dir, PolicyAlways)
+	wantRecords(t, rec.Snapshot, "good-snap")
+	wantRecords(t, rec.Journal, "b", "c")
+}
+
+// Replay-point errors stop consumption at the last good record, the
+// same contract as tail corruption — boot succeeds with a prefix.
+func TestInjectedReplayErrorStopsAtLastGoodRecord(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, PolicyAlways)
+	appendAll(t, s, "r1", "r2", "r3")
+	s.Close()
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointDurableReplay: {Mode: fault.ModeError, After: 3, Count: 1},
+	}})
+	_, rec := mustOpen(t, dir, PolicyAlways)
+	wantRecords(t, rec.Journal, "r1", "r2")
+}
+
+// The torn and short corruption modes persist a damaged frame and
+// kill the process; with the exit hook stubbed, assert both halves:
+// the exit fired and a restart truncates back to the pre-crash state.
+func TestTornAndShortWriteCrashModes(t *testing.T) {
+	defer fault.Reset()
+	for _, mode := range []fault.Mode{fault.ModeTorn, fault.ModeShort} {
+		dir := t.TempDir()
+		s, _ := mustOpen(t, dir, PolicyAlways)
+		appendAll(t, s, "survives")
+		exited := 0
+		osExit = func(code int) { exited = code }
+		fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+			fault.PointDurableAppend: {Mode: mode},
+		}})
+		s.Append([]byte("torn-away"))
+		osExit = os.Exit
+		fault.Reset()
+		if exited != 3 {
+			t.Fatalf("%s: exit hook got %d, want 3", mode, exited)
+		}
+		// The dead process's file must carry a partial frame...
+		buf, err := os.ReadFile(filepath.Join(dir, journalName(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, valid := decodeFrames(buf); valid == len(buf) {
+			t.Fatalf("%s: journal tail decodes cleanly; no corruption landed", mode)
+		}
+		// ...and a restart must truncate it away, keeping the prefix.
+		_, rec := mustOpen(t, dir, PolicyAlways)
+		wantRecords(t, rec.Journal, "survives")
+		if rec.TruncatedBytes == 0 {
+			t.Fatalf("%s: restart did not report truncation", mode)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package durable
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Frame layout: an 8-byte header — payload length (uint32 LE) then
+// CRC-32C of the payload (uint32 LE) — followed by the payload. The
+// length field is validated against maxRecordBytes before any
+// allocation, so a corrupted header cannot ask replay for gigabytes.
+const (
+	frameHeaderBytes = 8
+	// maxRecordBytes bounds one record. The largest real record is a
+	// snapshotted cache entry carrying a factored circuit; the service
+	// caps uploads at 8 MiB, so 64 MiB leaves an order of magnitude of
+	// headroom while still rejecting garbage lengths instantly.
+	maxRecordBytes = 64 << 20
+)
+
+// castagnoli is the CRC-32C table (the polynomial with hardware
+// support on both amd64 and arm64, and better error detection than
+// IEEE for short records).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends the framed encoding of payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// decodeFrames walks buf frame by frame, returning the decoded
+// payloads and the byte offset of the first damage: a short header, a
+// length past the buffer or the record cap, or a CRC mismatch. valid
+// == len(buf) means the whole buffer decoded cleanly. The payload
+// slices alias buf.
+func decodeFrames(buf []byte) (payloads [][]byte, valid int) {
+	off := 0
+	for {
+		if len(buf)-off < frameHeaderBytes {
+			return payloads, off
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		sum := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+		if n > maxRecordBytes || len(buf)-off-frameHeaderBytes < n {
+			return payloads, off
+		}
+		payload := buf[off+frameHeaderBytes : off+frameHeaderBytes+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return payloads, off
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderBytes + n
+	}
+}

@@ -39,6 +39,16 @@ const (
 	// ignores error-mode points; a point that can only panic or
 	// stall has no error channel to report through).
 	ModeError Mode = "error"
+	// ModeTorn makes InjectWrite hand back only the first half of the
+	// buffer and report crash=true: the caller persists the torn
+	// prefix and then dies, modeling power loss mid-record. At plain
+	// Inject/InjectErr sites it behaves like ModePanic.
+	ModeTorn Mode = "torn"
+	// ModeShort makes InjectWrite drop the final bytes of the buffer
+	// and report crash=true — the short-write flavor of the same
+	// crash-mid-record fault (the frame header survives intact, the
+	// payload does not).
+	ModeShort Mode = "short"
 )
 
 // PointConfig is one point's trigger rule.
@@ -135,6 +145,23 @@ const (
 	// PointClusterHandoff fires before a cache handoff to a peer that
 	// (re)joined the ring.
 	PointClusterHandoff = "cluster.handoff"
+
+	// PointDurableAppend fires (via InjectWrite) on every journal
+	// record append. Error mode fails the append; torn/short modes
+	// persist a corrupted frame and kill the process, so replay must
+	// detect the damage by CRC and truncate.
+	PointDurableAppend = "durable.append"
+	// PointDurableFsync fires before each journal fsync, modeling a
+	// full disk or dying device at the sync barrier.
+	PointDurableFsync = "durable.fsync"
+	// PointDurableSnapshot fires before a cache/job-table snapshot is
+	// written; an error here must leave the previous snapshot and the
+	// journal fully usable.
+	PointDurableSnapshot = "durable.snapshot"
+	// PointDurableReplay fires per record during startup replay; an
+	// error stops replay at the last good record instead of failing
+	// the boot — the same contract as a corrupted tail.
+	PointDurableReplay = "durable.replay"
 )
 
 // RegistryWithPrefix returns the registered fault points whose names

@@ -137,3 +137,46 @@ func TestInitFromEnv(t *testing.T) {
 	}
 	os.Unsetenv("FAULT_PLAN")
 }
+
+func TestInjectWriteCorruptionModes(t *testing.T) {
+	defer Reset()
+	buf := []byte("0123456789")
+	// No plan: passthrough, no crash, no counting.
+	out, crash, err := InjectWrite("quiet", buf)
+	if err != nil || crash || string(out) != "0123456789" || Hits("quiet") != 0 {
+		t.Fatalf("unplanned InjectWrite = (%q, %v, %v)", out, crash, err)
+	}
+	Set(Plan{Points: map[string]PointConfig{
+		"w.torn":  {Mode: ModeTorn},
+		"w.short": {Mode: ModeShort},
+		"w.err":   {Mode: ModeError},
+	}})
+	out, crash, err = InjectWrite("w.torn", buf)
+	if err != nil || !crash || string(out) != "01234" {
+		t.Fatalf("torn = (%q, %v, %v), want first half + crash", out, crash, err)
+	}
+	out, crash, err = InjectWrite("w.short", buf)
+	if err != nil || !crash || string(out) != "0123456" {
+		t.Fatalf("short = (%q, %v, %v), want 3 bytes dropped + crash", out, crash, err)
+	}
+	out, crash, err = InjectWrite("w.err", buf)
+	if err == nil || crash || string(out) != "0123456789" {
+		t.Fatalf("error mode = (%q, %v, %v), want intact buffer + error", out, crash, err)
+	}
+}
+
+func TestInitFromEnvAcceptsCorruptionModes(t *testing.T) {
+	defer Reset()
+	t.Setenv("FAULT_PLAN", "durable.append=torn:2;other.point=short:1")
+	InitFromEnv()
+	registry.mu.Lock()
+	torn := registry.plan.Points["durable.append"]
+	short := registry.plan.Points["other.point"]
+	registry.mu.Unlock()
+	if torn.Mode != ModeTorn || torn.After != 2 {
+		t.Fatalf("torn entry parsed as %+v", torn)
+	}
+	if short.Mode != ModeShort {
+		t.Fatalf("short entry parsed as %+v", short)
+	}
+}

@@ -26,5 +26,9 @@ func Inject(string) {}
 // InjectErr never fails in the default build.
 func InjectErr(string) error { return nil }
 
+// InjectWrite passes the buffer through untouched in the default
+// build.
+func InjectWrite(_ string, b []byte) ([]byte, bool, error) { return b, false, nil }
+
 // InitFromEnv is a no-op in the default build.
 func InitFromEnv() {}

@@ -106,7 +106,8 @@ func Inject(point string) {
 }
 
 // InjectErr fires any fault mode at point: ModeError returns the
-// spurious error, ModeDelay sleeps, ModePanic panics.
+// spurious error, ModeDelay sleeps, ModePanic (and the write-only
+// corruption modes, which have no buffer here) panic.
 func InjectErr(point string) error {
 	cfg := trigger(point)
 	if cfg == nil {
@@ -118,6 +119,38 @@ func InjectErr(point string) error {
 	case ModeDelay:
 		time.Sleep(cfg.Delay)
 		return nil
+	default:
+		panic(Injected{Point: point})
+	}
+}
+
+// InjectWrite fires any fault mode at a disk-write site about to
+// persist b. Panic/delay/error behave as InjectErr. The corruption
+// modes return a damaged copy of the buffer together with crash=true:
+// ModeTorn keeps only the first half (a frame cut mid-record by power
+// loss), ModeShort drops the last three bytes (the write syscall came
+// up short). The caller is expected to persist exactly the returned
+// bytes and then terminate the process, so the corrupted frame is the
+// durable tail a later replay must detect and truncate.
+func InjectWrite(point string, b []byte) (out []byte, crash bool, err error) {
+	cfg := trigger(point)
+	if cfg == nil {
+		return b, false, nil
+	}
+	switch cfg.Mode {
+	case ModeError:
+		return b, false, Injected{Point: point}
+	case ModeDelay:
+		time.Sleep(cfg.Delay)
+		return b, false, nil
+	case ModeTorn:
+		return b[:len(b)/2], true, nil
+	case ModeShort:
+		cut := len(b) - 3
+		if cut < 0 {
+			cut = 0
+		}
+		return b[:cut], true, nil
 	default:
 		panic(Injected{Point: point})
 	}
@@ -160,7 +193,7 @@ func InitFromEnv() {
 		fields := strings.Split(val, ":")
 		cfg := PointConfig{Mode: Mode(fields[0])}
 		switch cfg.Mode {
-		case ModePanic, ModeDelay, ModeError:
+		case ModePanic, ModeDelay, ModeError, ModeTorn, ModeShort:
 		default:
 			fmt.Fprintf(os.Stderr, "fault: ignoring FAULT_PLAN entry %q: unknown mode %q\n", part, fields[0])
 			continue

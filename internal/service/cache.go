@@ -92,6 +92,19 @@ func (c *Cache) Contains(key string) bool {
 	return ok
 }
 
+// Peek returns the cached result for key without touching the hit/miss
+// counters or the LRU order. Crash recovery uses it to re-attach
+// results to restored DONE jobs without skewing the serving stats.
+func (c *Cache) Peek(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).res, true
+}
+
 // Put stores res under key, evicting the least recently used entry
 // when the cache is full, then fires the OnStore hook (if installed)
 // outside the lock.

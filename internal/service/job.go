@@ -156,6 +156,18 @@ type Job struct {
 	// touches it, so it needs no lock.
 	nw *network.Network
 
+	// circuit is the canonical BLIF serialization of the submitted
+	// network, captured before any driver mutates nw — the durable
+	// payload a crash-restart recomputes from. Written once at
+	// registration (empty without a data dir), like nw.
+	circuit string
+
+	// notify, when non-nil, observes every lifecycle transition; the
+	// durability layer journals them through it. Installed once at
+	// registration, before the job is visible to any worker, and
+	// always invoked outside mu (it does disk IO).
+	notify func(j *Job, state State)
+
 	mu sync.Mutex
 	// state is guarded by mu.
 	state State
@@ -219,22 +231,38 @@ func (j *Job) Result() *Result {
 // whether the request had any effect.
 func (j *Job) Cancel() bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch j.state {
 	case StateQueued:
 		j.cancelRequested = true
 		j.state = StateCancelled
 		j.errMsg = "cancelled before start"
 		j.finished = time.Now()
+		j.mu.Unlock()
+		j.fireNotify(StateCancelled)
 		return true
 	case StateRunning:
 		j.cancelRequested = true
 		if j.cancel != nil {
 			j.cancel()
 		}
+		j.mu.Unlock()
 		return true
 	default:
+		j.mu.Unlock()
 		return false
+	}
+}
+
+// fireNotify reports a completed transition to the durability layer.
+// Called after mu is released: the journal append inside must not
+// serialize job state reads behind disk latency. Transitions
+// themselves stay ordered per job for every path that matters —
+// terminal records win over lifecycle records at replay regardless of
+// journal order, so the one benign race (finish landing before the
+// begin record) cannot resurrect a finished job.
+func (j *Job) fireNotify(state State) {
+	if j.notify != nil {
+		j.notify(j, state)
 	}
 }
 
@@ -243,21 +271,23 @@ func (j *Job) Cancel() bool {
 // was cancelled while queued.
 func (j *Job) begin(cancel context.CancelFunc) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != StateQueued {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = StateRunning
 	j.cancel = cancel
 	j.started = time.Now()
+	j.mu.Unlock()
+	j.fireNotify(StateRunning)
 	return true
 }
 
 // finish transitions RUNNING to a terminal state.
 func (j *Job) finish(state State, res *Result, cacheHit bool, errMsg string) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.state = state
@@ -267,6 +297,8 @@ func (j *Job) finish(state State, res *Result, cacheHit bool, errMsg string) {
 	j.cancel = nil
 	j.remoteNode = ""
 	j.finished = time.Now()
+	j.mu.Unlock()
+	j.fireNotify(state)
 }
 
 // CancelRequested reports whether a client asked to cancel the job.
@@ -287,14 +319,16 @@ func (j *Job) Network() *network.Network { return j.nw }
 // cancelled while queued.
 func (j *Job) BeginRemote(node string, cancel context.CancelFunc) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != StateQueued {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = StateRunning
 	j.cancel = cancel
 	j.remoteNode = node
 	j.started = time.Now()
+	j.mu.Unlock()
+	j.fireNotify(StateRunning)
 	return true
 }
 
@@ -310,15 +344,40 @@ func (j *Job) FinishRemote(state State, res *Result, cacheHit bool, errMsg strin
 // terminal state (nothing to recover).
 func (j *Job) requeueLocal() bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != StateRunning {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = StateQueued
 	j.remoteNode = ""
 	j.cancel = nil
 	j.started = time.Time{}
+	j.mu.Unlock()
+	j.fireNotify(StateQueued)
 	return true
+}
+
+// restoreTerminal places a recovered job directly into a terminal
+// state without firing notify — the transition was already journaled
+// before the crash; re-journaling it on every restart would grow the
+// log for no information.
+func (j *Job) restoreTerminal(state State, res *Result, cacheHit bool, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.result = res
+	j.cacheHit = cacheHit
+	j.errMsg = errMsg
+	j.submitted = time.Now()
+	j.finished = time.Now()
+}
+
+// persistView returns the fields the durability layer journals and
+// snapshots for this job.
+func (j *Job) persistView() (state State, errMsg string, cacheHit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg, j.cacheHit
 }
 
 // Status is the wire representation of a job's state, returned by

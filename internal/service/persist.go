@@ -1,0 +1,457 @@
+package service
+
+import (
+	"encoding/json"
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/blif"
+	"repro/internal/cluster/hlc"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/network"
+)
+
+// persistVersion is the on-disk record schema version. Replay logs and
+// skips records from a newer schema instead of guessing at them.
+const persistVersion = 1
+
+// record is the JSON envelope journaled and snapshotted through the
+// durable store: exactly one of the payload pointers is set, selected
+// by Kind.
+type record struct {
+	Kind  string    `json:"k"`
+	Hdr   *hdrRec   `json:"hdr,omitempty"`
+	Job   *jobRec   `json:"job,omitempty"`
+	State *stateRec `json:"state,omitempty"`
+	Cache *cacheRec `json:"cache,omitempty"`
+}
+
+// hdrRec opens every snapshot so a reader can bail out of a schema it
+// does not understand.
+type hdrRec struct {
+	Version int `json:"v"`
+}
+
+// jobRec is the full admission record: everything needed to recompute
+// the job from scratch after a crash, including the canonical BLIF
+// text of the circuit as submitted (before any driver mutated the
+// in-memory network).
+type jobRec struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Spec       Spec   `json:"spec"`
+	Key        string `json:"key"`
+	DeadlineNS int64  `json:"deadline_ns,omitempty"`
+	Circuit    string `json:"circuit"`
+	State      State  `json:"state"`
+	Err        string `json:"err,omitempty"`
+	CacheHit   bool   `json:"cache_hit,omitempty"`
+}
+
+// stateRec journals one lifecycle transition of an already-accepted
+// job.
+type stateRec struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Err      string `json:"err,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+}
+
+// cacheRec snapshots one cache entry: the run metrics, the factored
+// circuit as BLIF text, and the replication stamp so a restarted
+// cluster node re-announces with its recovered entries correctly
+// ordered against the rest of the cluster.
+type cacheRec struct {
+	Key      string        `json:"key"`
+	Stamp    hlc.Timestamp `json:"stamp"`
+	Run      runRec        `json:"run"`
+	Verified bool          `json:"verified,omitempty"`
+	Circuit  string        `json:"circuit"`
+}
+
+// runRec is core.RunResult minus the fields a cached DONE result can
+// never carry (DNF, Cancelled, Failure).
+type runRec struct {
+	Algorithm   string `json:"algorithm"`
+	P           int    `json:"p"`
+	LC          int    `json:"lc"`
+	Extracted   int    `json:"extracted"`
+	Calls       int    `json:"calls"`
+	VirtualTime int64  `json:"virtual_time"`
+	TotalWork   int64  `json:"total_work"`
+	Barriers    int64  `json:"barriers"`
+	WallNS      int64  `json:"wall_ns"`
+	Recovered   int    `json:"recovered"`
+}
+
+// RecoveryStats summarizes what OpenDurable restored.
+type RecoveryStats struct {
+	// Jobs is the number of jobs restored to the table.
+	Jobs int
+	// Requeued counts restored jobs re-enqueued for (re)computation:
+	// every non-terminal job, plus DONE jobs whose result fell out of
+	// the recovered cache.
+	Requeued int
+	// CacheEntries is the number of cache entries restored.
+	CacheEntries int
+	// BadRecords counts records skipped as undecodable — CRC-valid
+	// frames whose JSON or circuit text failed to parse.
+	BadRecords int
+	// TruncatedBytes and SkippedSnapshots are forwarded from the
+	// durable layer (crash footprint found on disk).
+	TruncatedBytes   int64
+	SkippedSnapshots int
+}
+
+// persistor ties the durable store to the router, queue and cache: it
+// journals admissions and lifecycle transitions as they happen, writes
+// periodic full-state snapshots, and rebuilds all three from disk at
+// startup.
+type persistor struct {
+	store    *durable.Store
+	router   *Router
+	queue    *Queue
+	cache    *Cache
+	interval time.Duration
+}
+
+// serializeNetwork renders nw as canonical BLIF text.
+func serializeNetwork(nw *network.Network) (string, error) {
+	var sb strings.Builder
+	if err := blif.Write(&sb, nw); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func encodeRecord(rec record) []byte {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		// The record types marshal unconditionally; reaching here is a
+		// schema bug, not an IO condition.
+		panic(fmt.Sprintf("service: encoding persist record: %v", err))
+	}
+	return b
+}
+
+// prepare arms a freshly registered job for durability: captures the
+// canonical circuit text while the network is still pristine and
+// installs the transition hook. Runs before the job is visible to any
+// worker.
+func (p *persistor) prepare(j *Job) {
+	circuit, err := serializeNetwork(j.nw)
+	if err != nil {
+		// The network just parsed from client text; serialization
+		// cannot fail short of a bug. Leave the circuit empty — the
+		// accepted-journal step below will reject the job.
+		log.Printf("service: durability: serializing %s: %v", j.ID, err)
+		return
+	}
+	j.circuit = circuit
+	j.notify = p.onTransition
+}
+
+// journalAccepted makes the admission durable. Called by the submit
+// handler after Register and before Dispatch; an error here means the
+// server cannot honor the no-accepted-job-lost guarantee and the
+// submission must be rejected.
+func (p *persistor) journalAccepted(j *Job) error {
+	if j.circuit == "" {
+		return fmt.Errorf("service: durability: job %s has no serialized circuit", j.ID)
+	}
+	state, errMsg, cacheHit := j.persistView()
+	return p.store.Append(encodeRecord(record{Kind: "job", Job: &jobRec{
+		ID:         j.ID,
+		Name:       j.Name,
+		Spec:       j.Spec,
+		Key:        j.Key,
+		DeadlineNS: int64(j.Deadline),
+		Circuit:    j.circuit,
+		State:      state,
+		Err:        errMsg,
+		CacheHit:   cacheHit,
+	}}))
+}
+
+// onTransition is the Job.notify hook: it journals the job's current
+// state. It reads the job's own view rather than trusting the passed
+// state so the (err, cacheHit, state) triple is always internally
+// consistent even when two transitions race their journal appends.
+// Append errors degrade durability, not availability: the job keeps
+// serving from memory and a crash at worst recomputes it.
+func (p *persistor) onTransition(j *Job, _ State) {
+	state, errMsg, cacheHit := j.persistView()
+	err := p.store.Append(encodeRecord(record{Kind: "state", State: &stateRec{
+		ID:       j.ID,
+		State:    state,
+		Err:      errMsg,
+		CacheHit: cacheHit,
+	}}))
+	if err != nil {
+		log.Printf("service: durability: journaling %s -> %s: %v", j.ID, state, err)
+	}
+}
+
+// snapshotRecords assembles the full-state image: header, every cache
+// entry (MRU first, as Cache.Snapshot yields them), then every job in
+// submission order.
+func (p *persistor) snapshotRecords() [][]byte {
+	var out [][]byte
+	out = append(out, encodeRecord(record{Kind: "hdr", Hdr: &hdrRec{Version: persistVersion}}))
+	for _, ent := range p.cache.Snapshot() {
+		if ent.Res.Degraded {
+			continue // degraded results are never shared or persisted
+		}
+		circuit, err := serializeNetwork(ent.Res.Net)
+		if err != nil {
+			log.Printf("service: durability: snapshotting cache %s: %v", ent.Key, err)
+			continue
+		}
+		run := ent.Res.Run
+		out = append(out, encodeRecord(record{Kind: "cache", Cache: &cacheRec{
+			Key:   ent.Key,
+			Stamp: ent.Stamp,
+			Run: runRec{
+				Algorithm:   run.Algorithm,
+				P:           run.P,
+				LC:          run.LC,
+				Extracted:   run.Extracted,
+				Calls:       run.Calls,
+				VirtualTime: run.VirtualTime,
+				TotalWork:   run.TotalWork,
+				Barriers:    run.Barriers,
+				WallNS:      int64(run.WallClock),
+				Recovered:   run.Recovered,
+			},
+			Verified: ent.Res.Verified,
+			Circuit:  circuit,
+		}}))
+	}
+	for _, j := range p.router.SnapshotJobs() {
+		if j.circuit == "" {
+			continue // pre-durability job (cannot happen in practice)
+		}
+		state, errMsg, cacheHit := j.persistView()
+		out = append(out, encodeRecord(record{Kind: "job", Job: &jobRec{
+			ID:         j.ID,
+			Name:       j.Name,
+			Spec:       j.Spec,
+			Key:        j.Key,
+			DeadlineNS: int64(j.Deadline),
+			Circuit:    j.circuit,
+			State:      state,
+			Err:        errMsg,
+			CacheHit:   cacheHit,
+		}}))
+	}
+	return out
+}
+
+// snapshotNow writes one snapshot generation and rotates the journal.
+func (p *persistor) snapshotNow() error {
+	return p.store.Snapshot(p.snapshotRecords())
+}
+
+// loop writes snapshots at the configured interval until ctx is
+// cancelled. Runs behind core.Guard from Server.Start.
+func (p *persistor) loop(ctx context.Context) {
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := p.snapshotNow(); err != nil {
+				log.Printf("service: durability: snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// finalize writes a last snapshot and closes the store; part of
+// graceful shutdown (a SIGKILL instead of this is exactly what the
+// journal exists for).
+func (p *persistor) finalize() {
+	if err := p.snapshotNow(); err != nil {
+		log.Printf("service: durability: final snapshot: %v", err)
+	}
+	if err := p.store.Close(); err != nil {
+		log.Printf("service: durability: close: %v", err)
+	}
+}
+
+// recoveredJob is the merge accumulator for one job id across the
+// snapshot image and every journal record that mentions it.
+type recoveredJob struct {
+	rec      jobRec
+	state    State
+	errMsg   string
+	cacheHit bool
+}
+
+// mergeState folds one observed state into the accumulator. Terminal
+// states win over lifecycle states regardless of record order — the
+// transition hooks journal outside the job mutex, so a DONE record can
+// legitimately land just before its RUNNING record.
+func (a *recoveredJob) mergeState(state State, errMsg string, cacheHit bool) {
+	if a.state.Terminal() && !state.Terminal() {
+		return
+	}
+	a.state = state
+	a.errMsg = errMsg
+	a.cacheHit = cacheHit
+}
+
+// recoverState rebuilds the cache and job table from what the durable
+// layer read off disk, re-enqueueing every job that still needs
+// compute. Runs before the pool starts and before the listener opens:
+// recovery has the queue and table to itself.
+func (p *persistor) recoverState(rec durable.Recovered) RecoveryStats {
+	stats := RecoveryStats{
+		TruncatedBytes:   rec.TruncatedBytes,
+		SkippedSnapshots: rec.SkippedSnapshots,
+	}
+
+	jobs := map[string]*recoveredJob{}
+	var order []string
+	var cacheRecs []cacheRec
+	apply := func(raw []byte) {
+		var r record
+		if err := json.Unmarshal(raw, &r); err != nil {
+			stats.BadRecords++
+			log.Printf("service: durability: undecodable record skipped: %v", err)
+			return
+		}
+		switch r.Kind {
+		case "hdr":
+			if r.Hdr != nil && r.Hdr.Version > persistVersion {
+				log.Printf("service: durability: record version %d > %d; best-effort replay",
+					r.Hdr.Version, persistVersion)
+			}
+		case "job":
+			if r.Job == nil {
+				stats.BadRecords++
+				return
+			}
+			a, ok := jobs[r.Job.ID]
+			if !ok {
+				a = &recoveredJob{rec: *r.Job, state: r.Job.State,
+					errMsg: r.Job.Err, cacheHit: r.Job.CacheHit}
+				jobs[r.Job.ID] = a
+				order = append(order, r.Job.ID)
+				return
+			}
+			a.mergeState(r.Job.State, r.Job.Err, r.Job.CacheHit)
+		case "state":
+			if r.State == nil {
+				stats.BadRecords++
+				return
+			}
+			// A state record without an admission record means the
+			// crash landed between the transition append and the
+			// admission append of different jobs under journal
+			// truncation; without the circuit there is nothing to
+			// restore.
+			if a, ok := jobs[r.State.ID]; ok {
+				a.mergeState(r.State.State, r.State.Err, r.State.CacheHit)
+			}
+		case "cache":
+			if r.Cache == nil {
+				stats.BadRecords++
+				return
+			}
+			cacheRecs = append(cacheRecs, *r.Cache)
+		default:
+			stats.BadRecords++
+			log.Printf("service: durability: unknown record kind %q skipped", r.Kind)
+		}
+	}
+	for _, raw := range rec.Snapshot {
+		apply(raw)
+	}
+	for _, raw := range rec.Journal {
+		apply(raw)
+	}
+
+	// Cache first, oldest (least recently used) entry inserted first so
+	// the restored LRU order matches the snapshot's.
+	for i := len(cacheRecs) - 1; i >= 0; i-- {
+		cr := cacheRecs[i]
+		nw, err := blif.Read(strings.NewReader(cr.Circuit))
+		if err != nil {
+			stats.BadRecords++
+			log.Printf("service: durability: cache entry %s circuit: %v", cr.Key, err)
+			continue
+		}
+		res := &Result{
+			Run: core.RunResult{
+				Algorithm:   cr.Run.Algorithm,
+				P:           cr.Run.P,
+				LC:          cr.Run.LC,
+				Extracted:   cr.Run.Extracted,
+				Calls:       cr.Run.Calls,
+				VirtualTime: cr.Run.VirtualTime,
+				TotalWork:   cr.Run.TotalWork,
+				Barriers:    cr.Run.Barriers,
+				WallClock:   time.Duration(cr.Run.WallNS),
+				Recovered:   cr.Run.Recovered,
+			},
+			Net:      nw,
+			Verified: cr.Verified,
+		}
+		if p.cache.PutReplicated(cr.Key, res, cr.Stamp) {
+			stats.CacheEntries++
+		}
+	}
+
+	// Then the jobs, in first-seen (admission) order.
+	for _, id := range order {
+		a := jobs[id]
+		nw, err := blif.Read(strings.NewReader(a.rec.Circuit))
+		if err != nil {
+			stats.BadRecords++
+			log.Printf("service: durability: job %s circuit: %v", id, err)
+			continue
+		}
+		j := newJob(id, a.rec.Name, a.rec.Spec, a.rec.Key, nw,
+			time.Duration(a.rec.DeadlineNS))
+		j.circuit = a.rec.Circuit
+		j.notify = p.onTransition
+		requeue := false
+		switch {
+		case a.state == StateFailed || a.state == StateCancelled:
+			j.restoreTerminal(a.state, nil, a.cacheHit, a.errMsg)
+		case a.state == StateDone:
+			if res, ok := p.cache.Peek(a.rec.Key); ok {
+				j.restoreTerminal(StateDone, res, true, "")
+			} else {
+				// The result outlived neither the cache's LRU bound nor
+				// the last snapshot; the accepted job must not be lost,
+				// so it recomputes.
+				requeue = true
+			}
+		default:
+			// QUEUED or RUNNING at crash time: back to the queue. The
+			// drivers recompute from the pristine circuit, so the rerun
+			// is bit-identical to what the crashed run would have
+			// produced.
+			requeue = true
+		}
+		p.router.restoreJob(j)
+		stats.Jobs++
+		if requeue {
+			if err := p.queue.PushRecovered(j); err != nil {
+				j.finish(StateFailed, nil, false,
+					fmt.Sprintf("crash recovery could not requeue: %v", err))
+				continue
+			}
+			stats.Requeued++
+		}
+	}
+	return stats
+}

@@ -1,0 +1,141 @@
+//go:build faultinject
+
+package service_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+// The durability chaos contract: a journal that cannot take the
+// admission record refuses the submission (the accepted set on disk
+// must never lag what clients were told), transition-journal failures
+// degrade durability but never availability, and replay faults at boot
+// behave like tail corruption — the server starts with the prefix.
+
+func TestSubmitRejectedWhenJournalAppendFails(t *testing.T) {
+	for _, point := range []string{fault.PointDurableAppend, fault.PointDurableFsync} {
+		t.Run(point, func(t *testing.T) {
+			defer fault.Reset()
+			dir := t.TempDir()
+			h, _ := newDurableHarness(t, service.Config{Workers: 1}, dir)
+			fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+				point: {Mode: fault.ModeError, After: 1, Count: 1},
+			}})
+			resp, data := h.submit(t, service.SubmitRequest{
+				Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("submit with failing journal: got %s (%s), want 503", resp.Status, data)
+			}
+			if !strings.Contains(string(data), "durability unavailable") {
+				t.Fatalf("503 body %q does not name durability", data)
+			}
+			// The rejected job must not linger in the table.
+			if jobs := h.stats(t).Jobs; jobs.Queued+jobs.Running+jobs.Done != 0 {
+				t.Fatalf("rejected submission left jobs behind: %+v", jobs)
+			}
+			// The point is spent; the next submission goes through and
+			// completes normally.
+			fault.Reset()
+			sub := h.submitOK(t, service.SubmitRequest{
+				Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+			if st := h.waitTerminal(t, sub.ID, 30*time.Second); st.State != service.StateDone {
+				t.Fatalf("post-fault job ended %s (%s)", st.State, st.Error)
+			}
+		})
+	}
+}
+
+func TestTransitionJournalFaultDegradesNotFails(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	h, _ := newDurableHarness(t, service.Config{Workers: 1}, dir)
+	// The admission append (1) succeeds; the RUNNING and DONE
+	// transition appends (2, 3) fail. The job must still complete.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointDurableAppend: {Mode: fault.ModeError, After: 2, Count: 2},
+	}})
+	sub := h.submitOK(t, service.SubmitRequest{
+		Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+	st := h.waitTerminal(t, sub.ID, 30*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("job with failing transition journal ended %s (%s)", st.State, st.Error)
+	}
+	fault.Reset()
+
+	// A crash now sees only the admission record: recovery must
+	// re-enqueue and recompute — durability degraded to extra work,
+	// never to a lost job.
+	img := crashImage(t, dir)
+	h2, rec := newDurableHarness(t, service.Config{Workers: 1}, img)
+	if rec.Jobs != 1 || rec.Requeued != 1 {
+		t.Fatalf("recovery = %+v, want the job requeued", rec)
+	}
+	if st := h2.waitTerminal(t, sub.ID, 30*time.Second); st.State != service.StateDone {
+		t.Fatalf("recovered job ended %s (%s)", st.State, st.Error)
+	}
+}
+
+func TestReplayFaultBootsWithPrefix(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	h, _ := newDurableHarness(t, service.Config{Workers: 1}, dir)
+	first := h.submitOK(t, service.SubmitRequest{
+		Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+	if st := h.waitTerminal(t, first.ID, 30*time.Second); st.State != service.StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	second := h.submitOK(t, service.SubmitRequest{
+		Circuit: paperBLIF, Spec: service.Spec{Algo: "lshape", P: 2}})
+	if st := h.waitTerminal(t, second.ID, 30*time.Second); st.State != service.StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	img := crashImage(t, dir)
+
+	// Replay dies partway through the journal: the boot must succeed
+	// anyway with whatever prefix was readable — the first job's
+	// admission record at minimum.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointDurableReplay: {Mode: fault.ModeError, After: 2, Count: 1},
+	}})
+	h2, rec := newDurableHarness(t, service.Config{Workers: 1}, img)
+	fault.Reset()
+	if rec.Jobs < 1 {
+		t.Fatalf("recovery = %+v, want at least the first job restored", rec)
+	}
+	if st := h2.waitTerminal(t, first.ID, 30*time.Second); st.State != service.StateDone {
+		t.Fatalf("job recovered from prefix ended %s (%s)", st.State, st.Error)
+	}
+}
+
+func TestSnapshotFaultKeepsServingAndRecovering(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	h, _ := newDurableHarness(t, service.Config{Workers: 1}, dir)
+	sub := h.submitOK(t, service.SubmitRequest{
+		Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+	if st := h.waitTerminal(t, sub.ID, 30*time.Second); st.State != service.StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	// Every snapshot attempt fails from here on — including the final
+	// one in Shutdown. The journal alone must still recover everything.
+	fault.Set(fault.Plan{Points: map[string]fault.PointConfig{
+		fault.PointDurableSnapshot: {Mode: fault.ModeError, After: 1, Count: 1 << 20},
+	}})
+	h.http.Close()
+	h.srv.Shutdown()
+	fault.Reset()
+
+	h2, rec := newDurableHarness(t, service.Config{Workers: 1}, dir)
+	if rec.Jobs != 1 {
+		t.Fatalf("recovery = %+v, want 1 job from the journal", rec)
+	}
+	if st := h2.waitTerminal(t, sub.ID, 30*time.Second); st.State != service.StateDone {
+		t.Fatalf("journal-only recovered job ended %s (%s)", st.State, st.Error)
+	}
+}

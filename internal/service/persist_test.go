@@ -1,0 +1,269 @@
+package service_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// newDurableHarness builds a server over dataDir, runs crash recovery,
+// and starts serving, returning what recovery found.
+func newDurableHarness(t *testing.T, cfg service.Config, dataDir string) (*harness, service.RecoveryStats) {
+	t.Helper()
+	cfg.DataDir = dataDir
+	srv := service.NewServer(context.Background(), cfg)
+	rec, err := srv.OpenDurable()
+	if err != nil {
+		t.Fatalf("OpenDurable(%s): %v", dataDir, err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Shutdown()
+	})
+	return &harness{srv: srv, http: ts}, rec
+}
+
+// crashImage copies a live server's data directory into a fresh one.
+// The journal is append-only and the snapshot rename is atomic, so a
+// point-in-time copy is exactly the disk state a SIGKILL would leave —
+// including, possibly, a torn record at the journal tail.
+func crashImage(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func (h *harness) resultBLIF(t *testing.T, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(h.http.URL + "/v1/jobs/" + id + "/result?format=blif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result %s: got %s: %s", id, resp.Status, body)
+	}
+	return body
+}
+
+// A job crash-interrupted while RUNNING must be re-enqueued on restart
+// under its original id and recompute to a byte-identical result.
+func TestCrashImageRequeuesInFlightJob(t *testing.T) {
+	dir := t.TempDir()
+	h, _ := newDurableHarness(t, service.Config{Workers: 1}, dir)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	h.srv.Pool().OnJobRunning = func(j *service.Job) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	sub := h.submitOK(t, service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started running")
+	}
+	// The RUNNING transition is journaled (and fsynced) before the
+	// worker reaches the hook, so this copy is a crash image of a
+	// mid-job kill.
+	img := crashImage(t, dir)
+
+	close(release)
+	st := h.waitTerminal(t, sub.ID, 30*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("uncrashed job ended %s (%s)", st.State, st.Error)
+	}
+	want := h.resultBLIF(t, sub.ID)
+
+	h2, rec := newDurableHarness(t, service.Config{Workers: 1}, img)
+	if rec.Jobs != 1 || rec.Requeued != 1 {
+		t.Fatalf("recovery = %+v, want 1 job restored and requeued", rec)
+	}
+	st2 := h2.waitTerminal(t, sub.ID, 30*time.Second)
+	if st2.State != service.StateDone {
+		t.Fatalf("recovered job ended %s (%s)", st2.State, st2.Error)
+	}
+	if st2.CacheHit {
+		t.Fatal("recomputed job reported a cache hit")
+	}
+	if got := h2.resultBLIF(t, sub.ID); string(got) != string(want) {
+		t.Fatalf("recovered result differs from uncrashed run:\n--- uncrashed\n%s\n--- recovered\n%s", want, got)
+	}
+}
+
+// A graceful restart (final snapshot written) must restore DONE jobs
+// with their results attached from the recovered cache — no recompute
+// — restore CANCELLED jobs terminally, keep the id sequence moving
+// forward, and serve identical resubmissions from the recovered cache.
+func TestGracefulRestartRestoresStateAndCache(t *testing.T) {
+	dir := t.TempDir()
+	h, _ := newDurableHarness(t, service.Config{Workers: 1}, dir)
+
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	h.srv.Pool().OnJobRunning = func(j *service.Job) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	done := h.submitOK(t, service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started running")
+	}
+	// While the worker is held, park a second job in the queue and
+	// cancel it there: QUEUED -> CANCELLED must survive the restart.
+	cancelled := h.submitOK(t, service.SubmitRequest{
+		Circuit: paperBLIF, Spec: service.Spec{Algo: "lshape", P: 2}})
+	req, err := http.NewRequest(http.MethodDelete, h.http.URL+"/v1/jobs/"+cancelled.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	h.srv.Pool().OnJobRunning = nil
+	close(release)
+	st := h.waitTerminal(t, done.ID, 30*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	want := h.resultBLIF(t, done.ID)
+	h.http.Close()
+	h.srv.Shutdown() // writes the final snapshot
+
+	h2, rec := newDurableHarness(t, service.Config{Workers: 1}, dir)
+	if rec.Jobs != 2 {
+		t.Fatalf("recovery = %+v, want 2 jobs", rec)
+	}
+	if rec.Requeued != 0 {
+		t.Fatalf("recovery requeued %d jobs, want 0 (all terminal)", rec.Requeued)
+	}
+	if rec.CacheEntries < 1 {
+		t.Fatalf("recovery restored %d cache entries, want >= 1", rec.CacheEntries)
+	}
+	if st := h2.status(t, done.ID); st.State != service.StateDone {
+		t.Fatalf("restored job %s is %s, want DONE without recompute", done.ID, st.State)
+	}
+	if st := h2.status(t, cancelled.ID); st.State != service.StateCancelled {
+		t.Fatalf("restored job %s is %s, want CANCELLED", cancelled.ID, st.State)
+	}
+	if got := h2.resultBLIF(t, done.ID); string(got) != string(want) {
+		t.Fatal("restored result differs from the pre-restart result")
+	}
+
+	// An identical resubmission must hit the recovered cache, and its
+	// fresh id must not collide with a recovered one.
+	resub := h2.submitOK(t, service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+	if resub.ID == done.ID || resub.ID == cancelled.ID {
+		t.Fatalf("fresh job reused recovered id %s", resub.ID)
+	}
+	st2 := h2.waitTerminal(t, resub.ID, 30*time.Second)
+	if st2.State != service.StateDone || !st2.CacheHit {
+		t.Fatalf("resubmission after restart: state %s cacheHit=%v, want DONE from cache", st2.State, st2.CacheHit)
+	}
+}
+
+// A crash right after DONE but before any snapshot loses the cached
+// result (it only lives in snapshots); recovery must then recompute
+// the accepted job rather than lose it or serve a wrong answer.
+func TestCrashImageRecomputesDoneJobWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	h, _ := newDurableHarness(t, service.Config{Workers: 1}, dir)
+	sub := h.submitOK(t, service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "part", P: 2}})
+	st := h.waitTerminal(t, sub.ID, 30*time.Second)
+	if st.State != service.StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	want := h.resultBLIF(t, sub.ID)
+	img := crashImage(t, dir) // journal only: no snapshot has run
+
+	h2, rec := newDurableHarness(t, service.Config{Workers: 1}, img)
+	if rec.Jobs != 1 || rec.Requeued != 1 || rec.CacheEntries != 0 {
+		t.Fatalf("recovery = %+v, want the DONE job requeued with an empty cache", rec)
+	}
+	st2 := h2.waitTerminal(t, sub.ID, 30*time.Second)
+	if st2.State != service.StateDone {
+		t.Fatalf("recovered job ended %s (%s)", st2.State, st2.Error)
+	}
+	if got := h2.resultBLIF(t, sub.ID); string(got) != string(want) {
+		t.Fatal("recomputed result differs from the pre-crash result")
+	}
+}
+
+// An empty data directory must boot clean, and a server with no
+// DataDir must not create any durability state.
+func TestDurabilityOffByDefault(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 1})
+	sub := h.submitOK(t, service.SubmitRequest{Circuit: paperBLIF, Spec: service.Spec{Algo: "seq"}})
+	if st := h.waitTerminal(t, sub.ID, 30*time.Second); st.State != service.StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+
+	dir := t.TempDir()
+	_, rec := newDurableHarness(t, service.Config{Workers: 1}, dir)
+	if rec.Jobs != 0 || rec.CacheEntries != 0 {
+		t.Fatalf("fresh dir recovered %+v, want nothing", rec)
+	}
+}
+
+// The liveness/readiness split: /healthz stays 200 during drain (the
+// process is alive), /readyz flips to 503 (stop routing work here).
+func TestHealthzStaysUpWhileDrainingReadyzFlips(t *testing.T) {
+	h := newHarness(t, service.Config{Workers: 1, DrainGrace: time.Second})
+	get := func(path string) int {
+		resp, err := http.Get(h.http.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if c := get("/healthz"); c != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", c)
+	}
+	if c := get("/readyz"); c != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", c)
+	}
+	h.srv.Shutdown()
+	if c := get("/healthz"); c != http.StatusOK {
+		t.Fatalf("healthz during drain: %d, want 200 (liveness must not kill a draining process)", c)
+	}
+	if c := get("/readyz"); c != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", c)
+	}
+}

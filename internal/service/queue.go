@@ -67,8 +67,28 @@ func (q *Queue) Pop() (*Job, bool) {
 		return nil, false
 	}
 	j := q.jobs[0]
+	// Nil the vacated slot: the reslice keeps the backing array alive,
+	// and without this it pins every popped job (and its parsed
+	// network) until the array itself is dropped.
+	q.jobs[0] = nil
 	q.jobs = q.jobs[1:]
 	return j, true
+}
+
+// PushRecovered enqueues a job re-admitted by crash recovery,
+// bypassing the capacity bound: the job was already accepted (and
+// acknowledged to a client) before the crash, so shedding it now would
+// break the no-accepted-job-lost guarantee. Only startup recovery may
+// call this, before the queue sees client traffic.
+func (q *Queue) PushRecovered(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.jobs = append(q.jobs, j)
+	q.cond.Signal()
+	return nil
 }
 
 // Len returns the current queue depth.

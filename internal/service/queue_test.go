@@ -1,0 +1,128 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testJob(id string) *Job {
+	return newJob(id, "t", Spec{Algo: "seq"}.WithDefaults(), "key-"+id, nil, 0)
+}
+
+// Regression: Pop used to reslice without clearing the vacated slot,
+// so the backing array kept every popped job (and its parsed network)
+// reachable until the array itself was garbage.
+func TestPopClearsVacatedSlot(t *testing.T) {
+	q := NewQueue(4)
+	if err := q.Push(testJob("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(testJob("b")); err != nil {
+		t.Fatal(err)
+	}
+	backing := q.jobs // same backing array the queue reslices over
+	if j, ok := q.Pop(); !ok || j.ID != "a" {
+		t.Fatalf("Pop = %v, %v", j, ok)
+	}
+	if backing[0] != nil {
+		t.Fatalf("popped slot still pins job %s", backing[0].ID)
+	}
+}
+
+// PushRecovered must bypass the capacity bound (recovery may not shed
+// an already-accepted job) but still respect Close.
+func TestPushRecoveredBypassesCapacity(t *testing.T) {
+	q := NewQueue(1)
+	if err := q.Push(testJob("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(testJob("b")); err != ErrQueueFull {
+		t.Fatalf("Push over capacity: %v, want ErrQueueFull", err)
+	}
+	if err := q.PushRecovered(testJob("recovered")); err != nil {
+		t.Fatalf("PushRecovered over capacity: %v, want nil", err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("queue depth %d, want 2", q.Len())
+	}
+	q.Close()
+	if err := q.PushRecovered(testJob("late")); err != ErrQueueClosed {
+		t.Fatalf("PushRecovered after close: %v, want ErrQueueClosed", err)
+	}
+}
+
+// Drain-time semantics under contention: Close racing concurrent Push
+// and Pop must account for every admitted job exactly once — either
+// delivered to a worker or returned by Close for cancellation — and
+// the returned jobs must cancel cleanly from QUEUED. Run under -race
+// in CI.
+func TestCloseRacesPushAndPop(t *testing.T) {
+	q := NewQueue(1024)
+	const pushers = 8
+	const perPusher = 200
+
+	var wg sync.WaitGroup
+	var admitted, rejected atomic.Int64
+	pushedByID := sync.Map{}
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPusher; i++ {
+				j := testJob(fmt.Sprintf("p%d-%d", p, i))
+				if err := q.Push(j); err != nil {
+					rejected.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				pushedByID.Store(j.ID, j)
+			}
+		}(p)
+	}
+
+	var popped sync.Map
+	var poppedCount atomic.Int64
+	var popWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		popWG.Add(1)
+		go func() {
+			defer popWG.Done()
+			for {
+				j, ok := q.Pop()
+				if !ok {
+					return
+				}
+				if _, dup := popped.LoadOrStore(j.ID, j); dup {
+					t.Errorf("job %s delivered twice", j.ID)
+				}
+				poppedCount.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(2 * time.Millisecond) // let the race build up
+	remaining := q.Close()
+	wg.Wait()
+	popWG.Wait()
+
+	for _, j := range remaining {
+		if _, dup := popped.Load(j.ID); dup {
+			t.Errorf("job %s both delivered and returned by Close", j.ID)
+		}
+		if !j.Cancel() {
+			t.Errorf("drained job %s would not cancel", j.ID)
+		}
+		if st := j.State(); st != StateCancelled {
+			t.Errorf("drained job %s is %s, want CANCELLED", j.ID, st)
+		}
+	}
+
+	got := poppedCount.Load() + int64(len(remaining))
+	if got != admitted.Load() {
+		t.Fatalf("admitted %d jobs but accounted %d (%d popped + %d drained, %d rejected)",
+			admitted.Load(), got, poppedCount.Load(), len(remaining), rejected.Load())
+	}
+}

@@ -48,6 +48,10 @@ type Router struct {
 	// starts (SetRemote); nil means single-node.
 	remote RemoteRunner
 
+	// persist is installed once by Server.OpenDurable before serving
+	// starts; nil means no data directory (in-memory only).
+	persist *persistor
+
 	mu sync.Mutex
 	// jobs is guarded by mu.
 	jobs map[string]*Job
@@ -111,13 +115,35 @@ func (rt *Router) Requeue(j *Job) {
 }
 
 // Register allocates an id, stores the job in the table, and prunes
-// old finished jobs past the retention bound.
+// old finished jobs past the retention bound. With durability enabled
+// the job leaves here carrying its journal hook and canonical circuit
+// text, installed before any worker can see it.
 func (rt *Router) Register(name string, spec Spec, key string, nw *network.Network, deadline time.Duration) *Job {
 	j, over := rt.add(name, spec, key, nw, deadline)
+	if p := rt.persist; p != nil {
+		p.prepare(j)
+	}
 	if over {
 		rt.prune()
 	}
 	return j
+}
+
+// restoreJob re-inserts a recovered job under its pre-crash id and
+// advances the sequence watermark so fresh ids never collide with
+// recovered ones. Only startup recovery calls this, before serving.
+func (rt *Router) restoreJob(j *Job) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var n int64
+	if _, err := fmt.Sscanf(j.ID, "job-%d", &n); err == nil && n > rt.seq {
+		rt.seq = n
+	}
+	if _, ok := rt.jobs[j.ID]; ok {
+		return
+	}
+	rt.jobs[j.ID] = j
+	rt.order = append(rt.order, j.ID)
 }
 
 // add stores a fresh job in the table and reports whether the table

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/blif"
+	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/eqn"
 	"repro/internal/network"
 )
@@ -39,6 +41,17 @@ type Config struct {
 	DrainGrace time.Duration
 	// RetryAfter is the advisory backoff returned with 429.
 	RetryAfter time.Duration
+	// DataDir, when non-empty, enables the durable job journal: every
+	// accepted job and lifecycle transition is journaled there and
+	// recovered by OpenDurable after a crash. Empty keeps the server
+	// purely in-memory.
+	DataDir string
+	// Fsync is the journal's fsync policy (durable.PolicyAlways when
+	// zero-valued and DataDir is set).
+	Fsync durable.Policy
+	// SnapshotInterval is how often the full state image is rewritten
+	// and the journal rotated.
+	SnapshotInterval time.Duration
 }
 
 // DefaultConfig returns serving defaults suitable for one host.
@@ -103,6 +116,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = d.RetryAfter
 	}
+	if c.Fsync.Mode == "" {
+		c.Fsync = durable.PolicyAlways
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
 	return c
 }
 
@@ -113,6 +132,14 @@ type Server struct {
 	cfg    Config
 	router *Router
 	pool   *Pool
+
+	// ctx is the process root passed to NewServer; the durability
+	// snapshot loop inherits from it.
+	ctx context.Context
+
+	// persist is non-nil once OpenDurable has recovered the data
+	// directory; set before serving starts.
+	persist *persistor
 
 	draining atomic.Bool
 
@@ -132,7 +159,37 @@ func NewServer(ctx context.Context, cfg Config) *Server {
 		cfg:    cfg,
 		router: NewRouter(q, c, cfg.MaxJobs),
 		pool:   NewPool(ctx, cfg.Workers, q, c, cfg.DefaultDeadline, cfg.MaxDeadline),
+		ctx:    ctx,
 	}
+}
+
+// OpenDurable opens (or creates) the configured data directory,
+// replays the snapshot and journal found there, and rebuilds the job
+// table, queue and cache — every job accepted before a crash is either
+// restored to its terminal state or re-enqueued for recomputation.
+// Call between NewServer and Start, before the listener opens and
+// before the cluster layer attaches (a restarted node's recovered
+// cache rides the normal handoff/replication path from there). A nil
+// error with Config.DataDir empty is a no-op.
+func (s *Server) OpenDurable() (RecoveryStats, error) {
+	if s.cfg.DataDir == "" {
+		return RecoveryStats{}, nil
+	}
+	store, recovered, err := durable.Open(s.cfg.DataDir, s.cfg.Fsync)
+	if err != nil {
+		return RecoveryStats{}, fmt.Errorf("opening data dir %s: %w", s.cfg.DataDir, err)
+	}
+	p := &persistor{
+		store:    store,
+		router:   s.router,
+		queue:    s.router.Queue(),
+		cache:    s.router.Cache(),
+		interval: s.cfg.SnapshotInterval,
+	}
+	stats := p.recoverState(recovered)
+	s.persist = p
+	s.router.persist = p
+	return stats, nil
 }
 
 // Pool exposes the worker pool (tests install the OnJobRunning hook).
@@ -146,15 +203,25 @@ func (s *Server) Router() *Router { return s.router }
 // serving starts.
 func (s *Server) SetClusterStats(fn func() any) { s.clusterStats = fn }
 
-// Start launches the worker pool.
-func (s *Server) Start() { s.pool.Start() }
+// Start launches the worker pool and, with durability enabled, the
+// periodic snapshot loop.
+func (s *Server) Start() {
+	s.pool.Start()
+	if p := s.persist; p != nil {
+		go core.Guard("service", -1, nil, func() { p.loop(s.ctx) })
+	}
+}
 
-// Shutdown drains gracefully: admission stops (503), queued jobs are
-// cancelled, and in-flight jobs get the configured grace before their
-// contexts are cancelled.
+// Shutdown drains gracefully: admission stops (503 on submit, /readyz
+// flips), queued jobs are cancelled, in-flight jobs get the configured
+// grace before their contexts are cancelled, and the durability layer
+// writes a final snapshot.
 func (s *Server) Shutdown() {
-	s.draining.Store(true)
+	already := s.draining.Swap(true)
 	s.pool.Shutdown(s.cfg.DrainGrace)
+	if p := s.persist; p != nil && !already {
+		p.finalize()
+	}
 }
 
 // SubmitRequest is the body of POST /v1/jobs.
@@ -222,15 +289,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
 
+// handleHealth is liveness: 200 as long as the process serves HTTP,
+// including during drain — a draining process is alive and must not be
+// restarted by its supervisor mid-drain. Readiness lives at /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is readiness: 503 once draining so load balancers stop
+// routing new submissions, 200 otherwise.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeErr(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // parseCircuit parses the upload under the configured limits.
@@ -283,8 +360,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	key := CanonicalKey(nw, spec)
 	j := s.router.Register(name, spec, key, nw, deadline)
 
+	// The admission becomes durable before the client hears 202: once
+	// accepted, the job survives any crash. A journal that cannot
+	// take the record means the guarantee cannot be given, so the
+	// submission is refused rather than silently degraded.
+	if p := s.persist; p != nil {
+		if err := p.journalAccepted(j); err != nil {
+			s.router.Unregister(j.ID)
+			writeErr(w, http.StatusServiceUnavailable, "durability unavailable: %v", err)
+			return
+		}
+	}
+
 	forwarded := r.Header.Get(ForwardedHeader) != ""
 	if err := s.router.Dispatch(j, forwarded); err != nil {
+		// Cancel before unregistering: with durability on, the
+		// admission record is already journaled, and the CANCELLED
+		// transition this emits is what keeps replay from
+		// resurrecting a job the client saw rejected.
+		j.Cancel()
 		s.router.Unregister(j.ID)
 		switch err {
 		case ErrQueueFull:
