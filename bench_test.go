@@ -186,6 +186,36 @@ func BenchmarkFig2MatrixBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkFig2MatrixBuildParallel benchmarks the sharded
+// BuildParallel at the paper's p=6, which also carries the arena and
+// slab-assembly optimizations (labels bit-identical to Build).
+func BenchmarkFig2MatrixBuildParallel(b *testing.B) {
+	nw := benchCircuit(b, "dalu")
+	nodes := nw.NodeVars()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kcm.BuildParallel(context.Background(), nw, nodes, kernels.Options{}, 6)
+	}
+}
+
+// BenchmarkFig2MatrixBuildIncremental benchmarks the Patcher steady
+// state: each round dirties ~5% of the nodes (the footprint of one
+// extraction round) and rebuilds, re-kerneling only those.
+func BenchmarkFig2MatrixBuildIncremental(b *testing.B) {
+	nw := benchCircuit(b, "dalu")
+	nodes := nw.NodeVars()
+	p := kcm.NewPatcher(0, kernels.Options{})
+	p.Rebuild(context.Background(), nw, nodes, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < len(nodes)/20+1; k++ {
+			p.MarkDirty(nodes[(i*31+k*17)%len(nodes)])
+		}
+		p.Rebuild(context.Background(), nw, nodes, 6)
+	}
+}
+
 // BenchmarkFig34LShapeAssembly benchmarks ownership distribution and
 // B_ij exchange (Figures 3 and 4).
 func BenchmarkFig34LShapeAssembly(b *testing.B) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/extract"
+	"repro/internal/kcm"
 	"repro/internal/kernels"
 	"repro/internal/network"
 	"repro/internal/partition"
@@ -27,6 +28,19 @@ type Options struct {
 	// replicated algorithm always synchronizes per rectangle —
 	// that lockstep is the very property §3 measures.
 	BatchK int
+	// BuildWorkers is the goroutine count for the sharded KC-matrix
+	// build (DESIGN.md §12); 0 picks GOMAXPROCS. Labels are
+	// bit-identical for any value, and virtual-time charging is
+	// untouched: the *modeled* matrix-generation split stays the
+	// per-driver node partition regardless of how many real
+	// goroutines kernel the nodes.
+	BuildWorkers int
+	// DisableIncremental is an ablation/escape switch: rebuild every
+	// KC matrix from scratch instead of re-kerneling only the nodes
+	// dirtied since the previous call. Results are bit-identical
+	// either way; only the wall-clock build cost (and the honest
+	// vtime charge for reused rows) changes.
+	DisableIncremental bool
 	// Model supplies the virtual-time cost constants; the zero
 	// value means vtime.DefaultModel().
 	Model vtime.Model
@@ -99,6 +113,11 @@ type RunResult struct {
 	// (L-shaped). The result is complete and function-equivalent —
 	// only redundant work was added.
 	Recovered int
+	// Build sums the run's matrix-build counters: nodes re-kerneled
+	// vs served from the incremental cache, wall time inside builds,
+	// and arena bytes recycled. Zero when DisableIncremental bypassed
+	// the patcher layer.
+	Build kcm.BuildStats
 	// Failure is non-nil when the run could not be completed because
 	// of a worker panic or straggler the driver could not absorb
 	// (always, for the replicated driver: its lockstep replicas
@@ -125,7 +144,13 @@ func chargeWork(mc *vtime.Machine, w int, work extract.Work) {
 func Sequential(ctx context.Context, nw *network.Network, opt Options) RunResult {
 	mc := vtime.NewMachine(1, opt.model())
 	start := time.Now()
-	res, calls := extract.Repeat(ctx, nw, nil, extract.Options{Kernel: opt.Kernel, Rect: opt.Rect, BatchK: opt.BatchK})
+	res, calls := extract.Repeat(ctx, nw, nil, extract.Options{
+		Kernel:             opt.Kernel,
+		Rect:               opt.Rect,
+		BatchK:             opt.BatchK,
+		BuildWorkers:       opt.BuildWorkers,
+		DisableIncremental: opt.DisableIncremental,
+	})
 	chargeWork(mc, 0, res.Work)
 	return RunResult{
 		Algorithm:   "sequential",
@@ -137,6 +162,7 @@ func Sequential(ctx context.Context, nw *network.Network, opt Options) RunResult
 		TotalWork:   mc.TotalWork(),
 		WallClock:   time.Since(start),
 		Cancelled:   res.Cancelled,
+		Build:       res.Build,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/fault"
 	"repro/internal/kcm"
+	"repro/internal/kernels"
 	"repro/internal/lshape"
 	"repro/internal/network"
 	"repro/internal/partition"
@@ -46,6 +47,17 @@ func LShaped(ctx context.Context, nw *network.Network, p int, opt Options) RunRe
 	res := RunResult{Algorithm: "lshaped", P: p}
 
 	parts := partition.KWay(nw, nil, p, opt.Partition)
+	// Per-worker incremental patchers: worker w's matrix labels come
+	// from proc w, so each slot owns a patcher constructed with its
+	// index, and only that slot's goroutine ever touches it (its own
+	// divisions and the forwarded ones both run on the owner).
+	// Redistribution after a failure shifts slot indices — and with
+	// them label offsets — so the patchers are rebuilt from scratch
+	// then: correctness is unaffected, only the cache is lost.
+	var pats []*kcm.Patcher
+	if !opt.DisableIncremental {
+		pats = newPatchers(p, opt.Kernel)
+	}
 	// failBudget bounds in-driver recovery: each lost worker costs
 	// one unit, and a run that keeps losing workers past it stops
 	// retrying and reports Failure instead of looping.
@@ -57,7 +69,7 @@ func LShaped(ctx context.Context, nw *network.Network, p int, opt Options) RunRe
 		}
 		res.Calls++
 		mc.SetParticipants(len(parts))
-		extracted, dnf, cancelled, failed, failure := lshapedCall(ctx, nw, parts, opt, mc)
+		extracted, dnf, cancelled, failed, failure := lshapedCall(ctx, nw, parts, opt, mc, pats)
 		res.Extracted += extracted
 		if failure != nil {
 			failBudget -= len(failed)
@@ -68,6 +80,14 @@ func LShaped(ctx context.Context, nw *network.Network, p int, opt Options) RunRe
 			}
 			res.Recovered += len(failed)
 			parts = redistribute(parts, failed)
+			if pats != nil {
+				// Bank the lost generation's counters, then start
+				// fresh: the surviving slots' label offsets changed.
+				for _, pt := range pats {
+					res.Build.Add(pt.Stats())
+				}
+				pats = newPatchers(len(parts), opt.Kernel)
+			}
 			mc.ClearAbort()
 			continue
 		}
@@ -89,7 +109,20 @@ func LShaped(ctx context.Context, nw *network.Network, p int, opt Options) RunRe
 	res.TotalWork = mc.TotalWork()
 	res.Barriers = mc.Barriers()
 	res.WallClock = time.Since(start)
+	for _, pt := range pats {
+		res.Build.Add(pt.Stats())
+	}
 	return res
+}
+
+// newPatchers returns one incremental matrix patcher per worker slot,
+// each labeling from its slot's §5.2 offset.
+func newPatchers(n int, opts kernels.Options) []*kcm.Patcher {
+	ps := make([]*kcm.Patcher, n)
+	for i := range ps {
+		ps[i] = kcm.NewPatcher(i, opts)
+	}
+	return ps
 }
 
 // redistribute drops the failed workers' slots and appends their
@@ -162,7 +195,7 @@ func (q *fwdQueue) drain() []fwdMsg {
 // are charged inside their closures.
 //
 //repolint:allow vtimecharge -- coordinator-side SetOwnerCheck runs before the workers start; every worker-side state-table touch is charged in its own closure
-func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.Machine) (int, bool, bool, []int, error) {
+func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, opt Options, mc *vtime.Machine, pats []*kcm.Patcher) (int, bool, bool, []int, error) {
 	p := len(parts)
 	ownerOf := map[sop.Var]int{}
 	for w, part := range parts {
@@ -202,17 +235,36 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 		wg.Add(1)
 		body := func(w int) {
 			usedNodes[w] = map[sop.Var]bool{}
+			// pw is this worker's own patcher; nil runs the
+			// from-scratch build. No other goroutine touches it.
+			var pw *kcm.Patcher
+			if pats != nil {
+				pw = pats[w]
+			}
 
 			// Phase 1: build this partition's matrix with offset
 			// labels (concurrent, read-only on the network).
 			fault.Inject(fault.PointLShapedMatrix)
-			b := kcm.NewBuilder(w, opt.Kernel)
-			for _, v := range parts[w] {
-				b.AddNode(nw, v)
+			if pw != nil {
+				// Incremental: re-kernel only the nodes this
+				// partition's divisions dirtied since the last call;
+				// rows served from the worker's own patcher cost
+				// nothing. Labels are bit-identical to the
+				// from-scratch NewBuilder(w) build below.
+				before := pw.Stats()
+				mats[w] = pw.Rebuild(ctx, nw, parts[w], 1)
+				d := pw.Stats().Sub(before)
+				mc.ChargeKernelPairs(w, int(d.PairsKerneled))
+				mc.ChargeMatrixEntries(w, int(d.EntriesBuilt))
+			} else {
+				b := kcm.NewBuilder(w, opt.Kernel)
+				for _, v := range parts[w] {
+					b.AddNode(nw, v)
+				}
+				mats[w] = b.Matrix()
+				mc.ChargeKernelPairs(w, len(mats[w].Rows()))
+				mc.ChargeMatrixEntries(w, mats[w].NumEntries())
 			}
-			mats[w] = b.Matrix()
-			mc.ChargeKernelPairs(w, len(mats[w].Rows()))
-			mc.ChargeMatrixEntries(w, mats[w].NumEntries())
 			// Send the kernel-cube list to the master (§5.2).
 			mc.ChargeSend(w, 0, len(mats[w].Cols()))
 			if !mc.Barrier(w) {
@@ -367,6 +419,9 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 							touched += t
 							if ch {
 								usedNodes[w][v] = true
+								if pw != nil {
+									pw.MarkDirty(nr.Node)
+								}
 							}
 							continue
 						}
@@ -381,7 +436,7 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 				// Process any forwarded divisions between our own
 				// iterations ("once it has completed one iteration
 				// of kernel extraction", §5.3).
-				processForwards(nw, &nwMu, queues[w], usedNodes[w], mc, w)
+				processForwards(nw, &nwMu, queues[w], usedNodes[w], pw, mc, w)
 				if !progressed {
 					// Every candidate's value was stolen by
 					// peers; their state-table marks make the
@@ -395,7 +450,7 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 			}
 			// Phase 4: final drain — every extraction is done, so
 			// the queues are stable.
-			processForwards(nw, &nwMu, queues[w], usedNodes[w], mc, w)
+			processForwards(nw, &nwMu, queues[w], usedNodes[w], pw, mc, w)
 			mc.Barrier(w)
 		}
 		go Guard("lshaped", w, sink, func() {
@@ -462,7 +517,7 @@ func lshapedCall(ctx context.Context, nw *network.Network, parts [][]sop.Var, op
 // only the undivided messages: the owning nodes keep their current
 // (equivalent) functions and the kernel survives iff some other
 // division used it.
-func processForwards(nw *network.Network, nwMu *sync.Mutex, q *fwdQueue, used map[sop.Var]bool, mc *vtime.Machine, w int) {
+func processForwards(nw *network.Network, nwMu *sync.Mutex, q *fwdQueue, used map[sop.Var]bool, pat *kcm.Patcher, mc *vtime.Machine, w int) {
 	fault.Inject(fault.PointLShapedForward)
 	for _, m := range q.drain() {
 		nwMu.Lock()
@@ -472,6 +527,12 @@ func processForwards(nw *network.Network, nwMu *sync.Mutex, q *fwdQueue, used ma
 		mc.ChargeLock(w)
 		if ch {
 			used[m.kvar] = true
+			if pat != nil {
+				// The divided node belongs to this worker's
+				// partition; queue it for re-kerneling on its own
+				// patcher (owner-goroutine dirty marking).
+				pat.MarkDirty(m.node)
+			}
 		}
 	}
 }

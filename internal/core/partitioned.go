@@ -96,9 +96,11 @@ func Partitioned(ctx context.Context, nw *network.Network, p int, opt Options) R
 			fault.Inject(fault.PointPartitionedExtract)
 			clone := nw.CloneDetached()
 			r, calls := extract.Repeat(ctx, clone, parts[idx], extract.Options{
-				Kernel: opt.Kernel,
-				Rect:   opt.Rect,
-				BatchK: opt.BatchK,
+				Kernel:             opt.Kernel,
+				Rect:               opt.Rect,
+				BatchK:             opt.BatchK,
+				BuildWorkers:       opt.BuildWorkers,
+				DisableIncremental: opt.DisableIncremental,
 			})
 			clones[idx] = clone
 			results[idx] = r
@@ -160,6 +162,7 @@ func Partitioned(ctx context.Context, nw *network.Network, p int, opt Options) R
 			continue
 		}
 		res.Extracted += results[w].Extracted
+		res.Build.Add(results[w].Build)
 		res.Cancelled = res.Cancelled || results[w].Cancelled
 		if callCounts[w] > res.Calls {
 			res.Calls = callCounts[w]

@@ -18,6 +18,7 @@ package extract
 
 import (
 	"context"
+	"runtime"
 	"sort"
 
 	"repro/internal/kcm"
@@ -43,6 +44,20 @@ type Options struct {
 	BatchK int
 	// OnExtract, when non-nil, observes each accepted rectangle.
 	OnExtract func(kernel sop.Expr, r rect.Rect)
+	// Patcher, when non-nil, supplies the incremental matrix builder:
+	// the call reuses its cached per-node kernels and re-kernels only
+	// nodes marked dirty (by earlier calls on the same patcher). When
+	// nil, a call-local patcher is used — still the parallel proto
+	// build, but with no caching across calls.
+	Patcher *kcm.Patcher
+	// BuildWorkers is the worker count for the sharded matrix build.
+	// 0 picks GOMAXPROCS; the result is bit-identical to a sequential
+	// build for any value.
+	BuildWorkers int
+	// DisableIncremental stops Repeat from owning a Patcher across
+	// calls, so every call rebuilds its matrix from scratch (still via
+	// the parallel proto build). Ignored when Patcher is non-nil.
+	DisableIncremental bool
 }
 
 // Work quantifies the computation an extraction performed. The
@@ -87,6 +102,10 @@ type Result struct {
 	GainEstimate int
 	// Work is the computation performed.
 	Work Work
+	// Build is the matrix-build work of this call (a delta, not the
+	// patcher's cumulative counters): nodes re-kerneled vs reused,
+	// build wall time, arena recycling.
+	Build kcm.BuildStats
 	// Cancelled reports that the call stopped early because its
 	// context was cancelled or its deadline expired. The network is
 	// left in a consistent (partially factored, function-preserving)
@@ -109,9 +128,21 @@ func KernelExtract(ctx context.Context, nw *network.Network, nodes []sop.Var, op
 		nodes = nw.NodeVars()
 	}
 	var res Result
-	m := kcm.Build(ctx, nw, nodes, opt.Kernel)
-	res.Work.KernelPairs += len(m.Rows())
-	res.Work.MatrixEntries += m.NumEntries()
+	pat := opt.Patcher
+	if pat == nil {
+		pat = kcm.NewPatcher(0, opt.Kernel)
+	}
+	workers := opt.BuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	before := pat.Stats()
+	m := pat.Rebuild(ctx, nw, nodes, workers)
+	res.Build = pat.Stats().Sub(before)
+	// Only work actually performed is charged: rows and entries served
+	// from the patcher's cache cost nothing this call.
+	res.Work.KernelPairs += int(res.Build.PairsKerneled)
+	res.Work.MatrixEntries += int(res.Build.EntriesBuilt)
 	if ctx.Err() != nil {
 		res.Cancelled = true
 		return res
@@ -143,7 +174,10 @@ outer:
 				break outer
 			}
 			kernel := KernelOf(m, best)
-			_, touched, changed := ApplyRect(nw, m, best, kernel, covered)
+			_, dirty, touched, changed := ApplyRect(nw, m, best, kernel, covered)
+			for _, dv := range dirty {
+				pat.MarkDirty(dv)
+			}
 			res.Work.DivisionCubes += touched
 			if changed && opt.OnExtract != nil {
 				opt.OnExtract(kernel, best)
@@ -161,9 +195,17 @@ outer:
 // synthesis script invokes factorization repeatedly. It returns the
 // accumulated result and the number of calls made. A cancelled ctx
 // ends the loop at the next call boundary with Cancelled set.
+//
+// Repeat owns one incremental Patcher across all its calls (unless the
+// caller supplied one): every call after the first re-kernels only the
+// nodes the previous call's divisions touched, instead of rebuilding
+// the whole matrix from scratch.
 func Repeat(ctx context.Context, nw *network.Network, nodes []sop.Var, opt Options) (Result, int) {
 	var total Result
 	calls := 0
+	if opt.Patcher == nil && !opt.DisableIncremental {
+		opt.Patcher = kcm.NewPatcher(0, opt.Kernel)
+	}
 	active := nodes
 	if active == nil {
 		active = nw.NodeVars()
@@ -176,6 +218,7 @@ func Repeat(ctx context.Context, nw *network.Network, nodes []sop.Var, opt Optio
 		total.Iterations += res.Iterations
 		total.GainEstimate += res.GainEstimate
 		total.Work.Add(res.Work)
+		total.Build.Add(res.Build)
 		if res.Cancelled {
 			total.Cancelled = true
 			break
@@ -204,15 +247,21 @@ func KernelOf(m *kcm.Matrix, r rect.Rect) sop.Expr {
 // divides the function of every node appearing in r's rows, marking
 // all of r's cubes covered. It returns the new node's variable (valid
 // only when changed is true — otherwise the node is removed again),
-// the number of cubes touched, and whether any function changed.
-func ApplyRect(nw *network.Network, m *kcm.Matrix, r rect.Rect, kernel sop.Expr, covered *rect.Cover) (sop.Var, int, bool) {
+// the nodes whose functions were rewritten (the set an incremental
+// builder must re-kernel), the number of cubes touched, and whether
+// any function changed.
+func ApplyRect(nw *network.Network, m *kcm.Matrix, r rect.Rect, kernel sop.Expr, covered *rect.Cover) (sop.Var, []sop.Var, int, bool) {
 	v := nw.NewNodeVar(kernel)
 	touched := kernel.NumCubes()
 	changed := false
+	var dirty []sop.Var
 	for _, nr := range GroupRows(m, r) {
 		zc, addBack := ZeroCostGain(m, nr, covered)
 		t, ch := DivideNode(nw, nr.Node, v, kernel, addBack, zc)
 		touched += t
+		if ch {
+			dirty = append(dirty, nr.Node)
+		}
 		changed = changed || ch
 	}
 	// Mark every cube of the rectangle covered, fresh or not —
@@ -228,7 +277,7 @@ func ApplyRect(nw *network.Network, m *kcm.Matrix, r rect.Rect, kernel sop.Expr,
 	if !changed {
 		nw.RemoveNode(v)
 	}
-	return v, touched, changed
+	return v, dirty, touched, changed
 }
 
 // NodeRows groups one node's rows of a rectangle: the unit of

@@ -18,13 +18,14 @@ type Builder struct {
 	colSeq  int64
 	cubeSeq int64
 	opts    kernels.Options
-	// cubeIDs assigns one global id per (node, function cube).
-	cubeIDs map[cubeKey]int64
-}
-
-type cubeKey struct {
-	node sop.Var
-	key  string
+	// cubeIDs assigns one global id per (node, function cube) via a
+	// hashed two-level index: first level by node, second an
+	// open-addressing table over the cube hash.
+	cubeIDs map[sop.Var]*cubeTable
+	// kern and pairs are scratch reused across AddFunction calls so
+	// per-node kernel generation stops allocating its working state.
+	kern  kernels.Kerneler
+	pairs []kernels.Pair
 }
 
 // NewBuilder returns a builder whose labels start at proc·Stride+1.
@@ -38,7 +39,7 @@ func NewBuilder(proc int, opts kernels.Options) *Builder {
 		colSeq:  base,
 		cubeSeq: base,
 		opts:    opts,
-		cubeIDs: map[cubeKey]int64{},
+		cubeIDs: map[sop.Var]*cubeTable{},
 	}
 }
 
@@ -54,11 +55,16 @@ func (b *Builder) AddNode(nw *network.Network, v sop.Var) int {
 
 // AddFunction is AddNode for an explicit function, used by tests and
 // by algorithms that operate on function snapshots.
+//
+// Column row-lists are restored lazily: Matrix() re-sorts any column
+// that saw an out-of-order insertion, so a build over many nodes pays
+// for column sorting once at finalize instead of once per node.
 func (b *Builder) AddFunction(v sop.Var, fn sop.Expr) int {
-	pairs := kernels.All(fn, b.opts)
-	for _, p := range pairs {
+	b.pairs = b.kern.All(fn, b.opts, nil, nil, b.pairs[:0])
+	for _, p := range b.pairs {
 		b.rowSeq++
 		row := &Row{ID: b.rowSeq, Node: v, CoKernel: p.CoKernel}
+		row.Entries = make([]Entry, 0, p.Kernel.NumCubes())
 		for _, kc := range p.Kernel.Cubes() {
 			col := b.internColumn(kc)
 			fc, ok := p.CoKernel.Union(kc)
@@ -73,8 +79,7 @@ func (b *Builder) AddFunction(v sop.Var, fn sop.Expr) int {
 		}
 		b.m.addRow(row)
 	}
-	b.m.sortColRows()
-	return len(pairs)
+	return len(b.pairs)
 }
 
 func (b *Builder) internColumn(cube sop.Cube) *Col {
@@ -86,18 +91,94 @@ func (b *Builder) internColumn(cube sop.Cube) *Col {
 }
 
 func (b *Builder) cubeID(v sop.Var, fc sop.Cube) int64 {
-	k := cubeKey{node: v, key: fc.Key()}
-	if id, ok := b.cubeIDs[k]; ok {
+	t := b.cubeIDs[v]
+	if t == nil {
+		t = &cubeTable{}
+		b.cubeIDs[v] = t
+	}
+	h := kernels.HashCube(fc)
+	if id, ok := t.lookup(h, fc); ok {
 		return id
 	}
 	b.cubeSeq++
-	b.cubeIDs[k] = b.cubeSeq
+	t.insert(h, fc, b.cubeSeq)
 	return b.cubeSeq
 }
 
-// Matrix returns the matrix built so far. The builder may keep adding
-// nodes afterwards; the matrix is live.
-func (b *Builder) Matrix() *Matrix { return b.m }
+// Matrix returns the matrix built so far, with column row-lists
+// restored to sorted order. The builder may keep adding nodes
+// afterwards; the matrix is live.
+func (b *Builder) Matrix() *Matrix {
+	b.m.sortColRows()
+	return b.m
+}
+
+// cubeTable is the second level of the cube-id interner: an
+// open-addressing map from function cube to its global id.
+type cubeTable struct {
+	slots []cubeSlot
+	n     int
+}
+
+type cubeSlot struct {
+	hash uint64
+	cube sop.Cube
+	id   int64 // 0 = empty (ids start at proc·Stride+1 ≥ 1)
+}
+
+// reset clears the table while keeping its slot storage.
+func (t *cubeTable) reset() {
+	for i := range t.slots {
+		t.slots[i] = cubeSlot{}
+	}
+	t.n = 0
+}
+
+func (t *cubeTable) lookup(h uint64, c sop.Cube) (int64, bool) {
+	if len(t.slots) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := h & mask; t.slots[i].id != 0; i = (i + 1) & mask {
+		if t.slots[i].hash == h && t.slots[i].cube.Equal(c) {
+			return t.slots[i].id, true
+		}
+	}
+	return 0, false
+}
+
+func (t *cubeTable) insert(h uint64, c sop.Cube, id int64) {
+	if t.n*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := h & mask
+	for t.slots[i].id != 0 {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = cubeSlot{hash: h, cube: c, id: id}
+	t.n++
+}
+
+func (t *cubeTable) grow() {
+	old := t.slots
+	size := 16
+	if len(old) > 0 {
+		size = len(old) * 2
+	}
+	t.slots = make([]cubeSlot, size)
+	mask := uint64(size - 1)
+	for _, s := range old {
+		if s.id == 0 {
+			continue
+		}
+		i := s.hash & mask
+		for t.slots[i].id != 0 {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = s
+	}
+}
 
 // Build constructs the KC matrix for all the given nodes of nw using a
 // single processor-0 builder: the sequential construction of §2. The
@@ -123,21 +204,18 @@ func Build(ctx context.Context, nw *network.Network, nodes []sop.Var, opts kerne
 func Merge(dst, src *Matrix) {
 	remap := map[int64]int64{}
 	for _, sc := range src.cols {
-		if dc, ok := dst.colByKey[sc.Cube.Key()]; ok {
+		if dc := dst.colTab.lookup(sc.Cube); dc != nil {
 			if sc.ID < dc.ID {
-				// Relabel dst's column to the smaller id.
+				// Relabel dst's column to the smaller id. Only the
+				// rows listed on the column carry an entry for it, so
+				// the relabel walks dc.RowIDs instead of every row.
 				delete(dst.colByID, dc.ID)
 				oldID := dc.ID
 				dc.ID = sc.ID
 				dst.colByID[dc.ID] = dc
 				dst.invalidate()
-				for _, r := range dst.rows {
-					for i := range r.Entries {
-						if r.Entries[i].Col == oldID {
-							r.Entries[i].Col = dc.ID
-						}
-					}
-					sortEntries(r)
+				for _, rid := range dc.RowIDs {
+					relabelEntry(dst.rowByID[rid], oldID, dc.ID)
 				}
 			}
 			remap[sc.ID] = dc.ID
@@ -148,6 +226,7 @@ func Merge(dst, src *Matrix) {
 	}
 	for _, sr := range src.rows {
 		nr := &Row{ID: sr.ID, Node: sr.Node, CoKernel: sr.CoKernel}
+		nr.Entries = make([]Entry, 0, len(sr.Entries))
 		for _, e := range sr.Entries {
 			e.Col = remap[e.Col]
 			nr.Entries = append(nr.Entries, e)
@@ -157,10 +236,35 @@ func Merge(dst, src *Matrix) {
 	dst.sortColRows()
 }
 
-func sortEntries(r *Row) {
-	for i := 1; i < len(r.Entries); i++ {
-		for j := i; j > 0 && r.Entries[j].Col < r.Entries[j-1].Col; j-- {
-			r.Entries[j], r.Entries[j-1] = r.Entries[j-1], r.Entries[j]
+// relabelEntry rewrites the single entry of r in column oldID to
+// newID and shifts it left to its sorted position. newID is always
+// smaller than oldID (smaller-label-wins), so only a leftward shift
+// can be needed.
+func relabelEntry(r *Row, oldID, newID int64) {
+	i, ok := findEntry(r.Entries, oldID)
+	if !ok {
+		return
+	}
+	e := r.Entries[i]
+	e.Col = newID
+	for i > 0 && r.Entries[i-1].Col > newID {
+		r.Entries[i] = r.Entries[i-1]
+		i--
+	}
+	r.Entries[i] = e
+}
+
+// findEntry locates the entry with the given column id in a
+// column-sorted entry slice.
+func findEntry(entries []Entry, col int64) (int, bool) {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].Col < col {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
+	return lo, lo < len(entries) && entries[lo].Col == col
 }

@@ -17,10 +17,13 @@
 package kcm
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
+	"repro/internal/kernels"
 	"repro/internal/sop"
 )
 
@@ -76,6 +79,10 @@ type Col struct {
 	// insertion draws strictly increasing row ids, so in the common
 	// case no column ever needs an actual sort.
 	unsorted bool
+	// pos is the column's index in Matrix.cols, letting the bulk
+	// assemble path address per-column scratch by slice index instead
+	// of map lookups.
+	pos int32
 }
 
 // Matrix is a sparse co-kernel cube matrix. Every structural mutation
@@ -85,12 +92,14 @@ type Col struct {
 //
 //repolint:invalidate invalidate
 type Matrix struct {
-	rows     []*Row
-	cols     []*Col
-	rowByID  map[int64]*Row
-	colByID  map[int64]*Col
-	colByKey map[string]*Col
-	entries  int
+	rows    []*Row
+	cols    []*Col
+	rowByID map[int64]*Row
+	colByID map[int64]*Col
+	// colTab interns columns by cube without materializing string
+	// keys: an open-addressing table over the shared kernel-cube hash.
+	colTab  colTable
+	entries int
 	// maxCubeID tracks the largest CubeID of any entry, sizing the
 	// dense covered-cube bitsets of internal/rect.
 	maxCubeID int64
@@ -111,9 +120,8 @@ func (m *Matrix) invalidate() {
 // NewMatrix returns an empty matrix.
 func NewMatrix() *Matrix {
 	return &Matrix{
-		rowByID:  map[int64]*Row{},
-		colByID:  map[int64]*Col{},
-		colByKey: map[string]*Col{},
+		rowByID: map[int64]*Row{},
+		colByID: map[int64]*Col{},
 	}
 }
 
@@ -130,7 +138,7 @@ func (m *Matrix) Row(id int64) *Row { return m.rowByID[id] }
 func (m *Matrix) Col(id int64) *Col { return m.colByID[id] }
 
 // ColByCube returns the column holding the given kernel cube, or nil.
-func (m *Matrix) ColByCube(c sop.Cube) *Col { return m.colByKey[c.Key()] }
+func (m *Matrix) ColByCube(c sop.Cube) *Col { return m.colTab.lookup(c) }
 
 // NumEntries returns the number of non-zero elements.
 func (m *Matrix) NumEntries() int { return m.entries }
@@ -154,7 +162,7 @@ func (m *Matrix) SortedColIDs() []int64 {
 		for i, c := range m.cols {
 			ids[i] = c.ID
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 		m.sortedCols = ids
 	}
 	return m.sortedCols
@@ -186,13 +194,13 @@ func (m *Matrix) SortColRows() {
 // internCol returns the column for cube, creating it with the given
 // id on first sight. An existing column keeps its original id.
 func (m *Matrix) internCol(cube sop.Cube, id int64) *Col {
-	key := cube.Key()
-	if c, ok := m.colByKey[key]; ok {
+	h := kernels.HashCube(cube)
+	if c := m.colTab.lookupHashed(h, cube); c != nil {
 		return c
 	}
-	c := &Col{ID: id, Cube: cube}
+	c := &Col{ID: id, Cube: cube, pos: int32(len(m.cols))}
 	m.cols = append(m.cols, c)
-	m.colByKey[key] = c
+	m.colTab.insert(h, c)
 	m.colByID[id] = c
 	m.invalidate()
 	return c
@@ -201,7 +209,7 @@ func (m *Matrix) internCol(cube sop.Cube, id int64) *Col {
 // addRow inserts a fully-formed row, wiring column back-references.
 // Entries must already refer to interned column ids.
 func (m *Matrix) addRow(r *Row) {
-	sort.Slice(r.Entries, func(i, j int) bool { return r.Entries[i].Col < r.Entries[j].Col })
+	slices.SortFunc(r.Entries, compareEntries)
 	m.rows = append(m.rows, r)
 	m.rowByID[r.ID] = r
 	for _, e := range r.Entries {
@@ -226,8 +234,76 @@ func (m *Matrix) sortColRows() {
 		if !c.unsorted {
 			continue
 		}
-		sort.Slice(c.RowIDs, func(i, j int) bool { return c.RowIDs[i] < c.RowIDs[j] })
+		slices.Sort(c.RowIDs)
 		c.unsorted = false
+	}
+}
+
+func compareEntries(a, b Entry) int { return cmp.Compare(a.Col, b.Col) }
+
+func sortEntrySlice(entries []Entry) { slices.SortFunc(entries, compareEntries) }
+
+// colTable is an open-addressing hash table interning columns by their
+// kernel cube. It replaces a map keyed by Cube.Key() strings, whose
+// materialization dominated the matrix-build allocation profile.
+type colTable struct {
+	slots []*Col
+	hash  []uint64
+	n     int
+}
+
+// lookup returns the column holding cube c, or nil.
+func (t *colTable) lookup(c sop.Cube) *Col {
+	return t.lookupHashed(kernels.HashCube(c), c)
+}
+
+func (t *colTable) lookupHashed(h uint64, c sop.Cube) *Col {
+	if len(t.slots) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := h & mask; t.slots[i] != nil; i = (i + 1) & mask {
+		if t.hash[i] == h && t.slots[i].Cube.Equal(c) {
+			return t.slots[i]
+		}
+	}
+	return nil
+}
+
+// insert adds a column whose cube is known to be absent.
+func (t *colTable) insert(h uint64, col *Col) {
+	if t.n*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := h & mask
+	for t.slots[i] != nil {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = col
+	t.hash[i] = h
+	t.n++
+}
+
+func (t *colTable) grow() {
+	oldSlots, oldHash := t.slots, t.hash
+	size := 64
+	if len(oldSlots) > 0 {
+		size = len(oldSlots) * 2
+	}
+	t.slots = make([]*Col, size)
+	t.hash = make([]uint64, size)
+	mask := uint64(size - 1)
+	for j, c := range oldSlots {
+		if c == nil {
+			continue
+		}
+		i := oldHash[j] & mask
+		for t.slots[i] != nil {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = c
+		t.hash[i] = oldHash[j]
 	}
 }
 

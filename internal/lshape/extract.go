@@ -109,7 +109,7 @@ func ExtractCall(nw *network.Network, parts [][]sop.Var, opt Options) CallResult
 			}
 			for _, best := range batch {
 				kernel := extract.KernelOf(l.M, best)
-				v, touched, changed := extract.ApplyRect(nw, l.M, best, kernel, covers[p])
+				v, _, touched, changed := extract.ApplyRect(nw, l.M, best, kernel, covers[p])
 				res.PerProc[p].DivisionCubes += touched
 				if changed {
 					res.Extracted++

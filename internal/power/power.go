@@ -171,7 +171,7 @@ func Extract(nw *network.Network, opt kernels.Options, rc rect.Config, maxExtrac
 			break
 		}
 		kernel := extract.KernelOf(m, best)
-		if _, _, changed := extract.ApplyRect(nw, m, best, kernel, covered); changed {
+		if _, _, _, changed := extract.ApplyRect(nw, m, best, kernel, covered); changed {
 			res.Extracted++
 		}
 	}

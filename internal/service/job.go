@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kcm"
 	"repro/internal/network"
 	"repro/internal/rect"
 )
@@ -407,6 +408,10 @@ type Status struct {
 	Algorithm   string `json:"algorithm,omitempty"`
 	Verified    bool   `json:"verified,omitempty"`
 	Degraded    bool   `json:"degraded,omitempty"`
+	// Build carries the run's incremental matrix-build counters
+	// (build wall time, nodes re-kerneled vs reused, arena bytes
+	// recycled).
+	Build *kcm.BuildStats `json:"build,omitempty"`
 }
 
 // Snapshot captures the job's current status for the API.
@@ -441,6 +446,8 @@ func (j *Job) Snapshot() Status {
 		st.Algorithm = j.result.Run.Algorithm
 		st.Verified = j.result.Verified
 		st.Degraded = j.result.Degraded
+		b := j.result.Run.Build
+		st.Build = &b
 	}
 	return st
 }

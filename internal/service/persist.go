@@ -1,8 +1,8 @@
 package service
 
 import (
-	"encoding/json"
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"strings"

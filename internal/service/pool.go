@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/equiv"
 	"repro/internal/fault"
+	"repro/internal/kcm"
 )
 
 // Retry ladder for jobs whose run dies with a WorkerFailure. The
@@ -65,6 +66,8 @@ type runStats struct {
 	totalVtime int64
 	// totalWall is guarded by mu.
 	totalWall time.Duration
+	// build is guarded by mu.
+	build kcm.BuildStats
 	// faults is guarded by mu.
 	faults FaultCounters
 }
@@ -99,7 +102,11 @@ type PoolStats struct {
 	PerAlgo          map[string]int64 `json:"per_algo"`
 	TotalVirtualTime int64            `json:"total_virtual_time"`
 	TotalWallMS      int64            `json:"total_wall_ms"`
-	Faults           FaultCounters    `json:"faults"`
+	// Build aggregates the incremental matrix-build counters of every
+	// computed run: wall time inside builds, nodes re-kerneled vs
+	// served from the patcher cache, and arena bytes recycled.
+	Build  kcm.BuildStats `json:"build"`
+	Faults FaultCounters  `json:"faults"`
 }
 
 // NewPool returns an unstarted pool of the given size feeding from q
@@ -156,6 +163,7 @@ func (p *Pool) Stats() PoolStats {
 		PerAlgo:          per,
 		TotalVirtualTime: s.totalVtime,
 		TotalWallMS:      s.totalWall.Milliseconds(),
+		Build:            s.build,
 		Faults:           s.faults,
 	}
 }
@@ -396,6 +404,7 @@ func (p *Pool) countRun(algo string, run core.RunResult, wall time.Duration) {
 	s.computed++
 	s.totalVtime += run.VirtualTime
 	s.totalWall += wall
+	s.build.Add(run.Build)
 }
 
 // Shutdown drains the pool: the queue stops admitting and delivering,

@@ -1,6 +1,7 @@
 package sop
 
 import (
+	"slices"
 	"sort"
 	"strings"
 )
@@ -28,7 +29,18 @@ func NewExpr(cubes ...Cube) Expr {
 }
 
 func canon(cs []Cube) Expr {
-	sort.Slice(cs, func(i, j int) bool { return cs[i].Compare(cs[j]) < 0 })
+	// Division results are usually already in canonical order; a linear
+	// sortedness check dodges the SortFunc setup on the hot path.
+	sorted := true
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Compare(cs[i]) > 0 {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		slices.SortFunc(cs, Cube.Compare)
+	}
 	out := cs[:0]
 	for i, c := range cs {
 		if i > 0 && out[len(out)-1].Compare(c) == 0 {
@@ -204,7 +216,7 @@ func (f Expr) Support() []Var {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -11,6 +11,7 @@ package sop
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,7 +60,7 @@ type Cube []Lit
 func NewCube(lits ...Lit) (Cube, bool) {
 	c := make(Cube, len(lits))
 	copy(c, lits)
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	slices.Sort(c)
 	// Dedup and detect opposite phases.
 	out := c[:0]
 	for i, l := range c {
